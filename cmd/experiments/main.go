@@ -1,0 +1,96 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic SoC. Run with a list of experiment ids (fig4 fig7 fig8 fig9
+// fig10 fig11 critical) or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	samples := flag.Int("samples", 10000, "Monte Carlo samples per campaign")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = []string{"fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "critical", "countermeasures"}
+	}
+
+	fmt.Printf("building framework + pre-characterization...\n")
+	t0 := time.Now()
+	ctx, err := experiments.NewContext(*samples)
+	if err != nil {
+		fatal(err)
+	}
+	ctx.Seed = *seed
+	fmt.Printf("ready in %v (samples per campaign: %d)\n\n", time.Since(t0).Round(time.Millisecond), *samples)
+
+	for _, id := range ids {
+		t1 := time.Now()
+		var out fmt.Stringer
+		var err error
+		switch id {
+		case "fig4":
+			out = experiments.Fig4(ctx)
+		case "fig7":
+			out, err = experiments.Fig7(ctx)
+		case "fig8":
+			out, err = experiments.Fig8(ctx)
+		case "fig9":
+			out, err = experiments.Fig9(ctx)
+		case "fig10":
+			out, err = experiments.Fig10(ctx)
+		case "fig11":
+			out, err = experiments.Fig11(ctx)
+		case "critical":
+			out, err = experiments.Critical(ctx)
+		case "countermeasures":
+			out, err = experiments.Countermeasures(ctx)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", id))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s (%v) ===\n%s\n", id, time.Since(t1).Round(time.Millisecond), out)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, out); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// writeCSV emits machine-readable data for the experiments that carry
+// series (currently the Fig 9 convergence traces).
+func writeCSV(dir, id string, out fmt.Stringer) error {
+	r, ok := out.(*experiments.Fig9Result)
+	if !ok {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, id+"_convergence.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	headers := make([]string, len(r.Strategies))
+	cols := make([][]float64, len(r.Strategies))
+	for i, s := range r.Strategies {
+		headers[i] = s.Name
+		cols[i] = s.Convergence
+	}
+	return report.CSV(f, headers, cols...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

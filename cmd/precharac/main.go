@@ -1,0 +1,105 @@
+// Command precharac runs the system pre-characterization on the
+// synthetic SoC and dumps the results: cone sizes, register
+// classification, and the per-register lifetime/contamination numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/report"
+)
+
+func main() {
+	maxDepth := flag.Int("depth", 50, "unroll depth of the cone extraction")
+	traceCycles := flag.Int("trace", 1024, "synthetic benchmark trace length")
+	lifetimeCap := flag.Int("cap", 200, "lifetime campaign horizon")
+	verbose := flag.Bool("v", false, "dump per-register characterization")
+	dump := flag.String("dump", "", "write the elaborated MPU netlist (gnl format) to this file")
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	opts.Precharac.MaxDepth = *maxDepth
+	opts.Precharac.TraceCycles = *traceCycles
+	opts.Precharac.LifetimeCap = *lifetimeCap
+
+	t0 := time.Now()
+	fw, err := core.Build(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precharac:", err)
+		os.Exit(1)
+	}
+	char := fw.Char
+	nl := fw.MPU.Netlist
+	st, err := netlist.ComputeStats(nl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precharac:", err)
+		os.Exit(1)
+	}
+
+	t := report.NewTable(fmt.Sprintf("Pre-characterization of the SECP16 MPU (%v)", time.Since(t0).Round(time.Millisecond)),
+		"metric", "value")
+	t.Row("netlist nodes", st.Nodes)
+	t.Row("combinational gates", st.CombGates)
+	t.Row("registers", st.Registers)
+	t.Row("logic depth", st.Depth)
+	t.Row("area (gate equivalents)", st.Area)
+	t.Row("responding signals", len(char.Responding))
+	t.Row("fanin-cone registers", countRegs(nl, char.FaninRegsByDepth(nl)))
+	t.Row("characterized registers", len(char.Regs))
+	t.Row("memory-type", len(char.MemoryRegs()))
+	t.Row("computation-type", len(char.ComputationRegs()))
+	t.Row("responding-signal switch density", char.SwitchDensity())
+	t.Render(os.Stdout)
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "precharac:", err)
+			os.Exit(1)
+		}
+		if err := netlist.Write(f, nl); err != nil {
+			fmt.Fprintln(os.Stderr, "precharac:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "precharac:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("netlist written to %s\n", *dump)
+	}
+
+	if *verbose {
+		regs := make([]netlist.NodeID, 0, len(char.Regs))
+		for r := range char.Regs {
+			regs = append(regs, r)
+		}
+		sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+		d := report.NewTable("Per-register characterization",
+			"register", "lifetime", "contamination", "class")
+		for _, r := range regs {
+			rc := char.Regs[r]
+			class := "computation"
+			if rc.MemoryType {
+				class = "memory"
+			}
+			d.Row(nl.Node(r).Name, rc.Lifetime, rc.Contamination, class)
+		}
+		d.Render(os.Stdout)
+	}
+}
+
+func countRegs(nl *netlist.Netlist, layers [][]netlist.NodeID) int {
+	seen := map[netlist.NodeID]bool{}
+	for _, layer := range layers {
+		for _, r := range layer {
+			seen[r] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,117 @@
+// Command ssfeval evaluates the System Security Factor of a benchmark
+// under a configurable attack, with a chosen sampling strategy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/montecarlo"
+	"repro/internal/report"
+	"repro/internal/sampling"
+)
+
+func main() {
+	benchName := flag.String("bench", "write", "benchmark: write | read")
+	strategy := flag.String("sampler", "importance", "sampler: random | cone | importance")
+	samples := flag.Int("samples", 20000, "number of Monte Carlo samples")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	tRange := flag.Int("trange", 50, "temporal accuracy range (cycles)")
+	blockFrac := flag.Float64("block", 0.125, "candidate sub-block fraction of MPU gates")
+	mode := flag.String("mode", "gate", "attack mode: gate | register | glitch")
+	glitchDepth := flag.Float64("glitch-depth", 300, "clock-glitch depth in ps (glitch mode)")
+	alpha := flag.Float64("alpha", sampling.DefaultAlpha, "importance-sampling alpha")
+	beta := flag.Float64("beta", sampling.DefaultBeta, "importance-sampling beta")
+	flag.Parse()
+
+	bench := core.BenchmarkIllegalWrite
+	if *benchName == "read" {
+		bench = core.BenchmarkIllegalRead
+	} else if *benchName != "write" {
+		fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+	}
+
+	t0 := time.Now()
+	opts := core.DefaultOptions()
+	if *tRange+1 > opts.Precharac.MaxDepth {
+		opts.Precharac.MaxDepth = *tRange + 1
+	}
+	fw, err := core.Build(opts)
+	if err != nil {
+		fatal(err)
+	}
+	spec := core.DefaultAttackSpec()
+	spec.TRange = *tRange
+	spec.BlockFrac = *blockFrac
+	ev, err := fw.NewEvaluation(bench, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("framework ready in %v; golden run: target cycle %d, final cycle %d\n",
+		time.Since(t0).Round(time.Millisecond), ev.Golden.TargetCycle, ev.Golden.FinalCycle)
+
+	var sp sampling.Sampler
+	switch *strategy {
+	case "random":
+		sp = ev.RandomSampler()
+	case "cone":
+		sp, err = ev.ConeSampler()
+	case "importance":
+		sp, err = ev.ImportanceSamplerAB(*alpha, *beta)
+	default:
+		err = fmt.Errorf("unknown sampler %q", *strategy)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	copts := montecarlo.CampaignOptions{Samples: *samples, Seed: *seed}
+	var camp *montecarlo.Campaign
+	t1 := time.Now()
+	switch *mode {
+	case "gate", "register":
+		if *mode == "register" {
+			copts.Mode = montecarlo.RegisterAttack
+		}
+		camp, err = ev.Engine.RunCampaign(sp, copts)
+	case "glitch":
+		tech := fault.DefaultClockGlitch()
+		tech.Depth = *glitchDepth
+		tech.ClockPeriod = fw.Opts.Delay.ClockPeriod
+		var gattack *fault.GlitchAttack
+		gattack, err = fault.NewGlitchAttack("glitch", *tRange, tech)
+		if err != nil {
+			fatal(err)
+		}
+		camp, err = ev.Engine.RunGlitchCampaign(gattack, copts)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(t1)
+
+	t := report.NewTable(fmt.Sprintf("SSF evaluation: %s benchmark, %s sampler, %s attacks", bench, camp.SamplerName, *mode),
+		"metric", "value")
+	t.Row("SSF", camp.SSF())
+	t.Row("std. error", camp.Est.StdErr())
+	t.Row("sample variance", camp.Variance())
+	t.Row("successful attacks", camp.Successes)
+	t.Row("masked / mem-only / both", fmt.Sprintf("%d / %d / %d",
+		camp.ClassCounts[0], camp.ClassCounts[1], camp.ClassCounts[2]))
+	t.Row("eval paths (masked/analytical/pruned/rtl)", fmt.Sprintf("%d / %d / %d / %d",
+		camp.PathCounts[0], camp.PathCounts[1], camp.PathCounts[2], camp.PathCounts[3]))
+	t.Row("RTL cycles simulated", camp.RTLCycles)
+	t.Row("throughput", fmt.Sprintf("%.0f runs/s", float64(*samples)/elapsed.Seconds()))
+	t.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssfeval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,363 @@
+// Package core is the framework facade: it wires the synthetic SoC, the
+// system pre-characterization, the holistic attack model, the sampling
+// strategies, and the cross-level Monte Carlo engine into the
+// three-call workflow a user needs:
+//
+//	fw, _ := core.Build(core.DefaultOptions())
+//	ev, _ := fw.NewEvaluation(core.BenchmarkIllegalWrite, core.DefaultAttackSpec())
+//	ssf, _ := ev.EvaluateSSF(ev.ImportanceSampler(), core.DefaultCampaign(20000))
+//
+// Everything underneath is reachable for finer control: the packages
+// under internal/ form the layered implementation (netlist → hdl →
+// logicsim/timingsim/placement → soc → precharac/fault → sampling /
+// analytical → montecarlo).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analytical"
+	"repro/internal/fault"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/precharac"
+	"repro/internal/sampling"
+	"repro/internal/soc"
+	"repro/internal/timingsim"
+)
+
+// Benchmark selects one of the built-in attack benchmarks.
+type Benchmark int
+
+// Built-in benchmarks.
+const (
+	// BenchmarkIllegalWrite attempts an unauthorized store into the
+	// protected region (the paper's primary scenario).
+	BenchmarkIllegalWrite Benchmark = iota
+	// BenchmarkIllegalRead attempts an unauthorized load (information
+	// leakage).
+	BenchmarkIllegalRead
+)
+
+// String returns the benchmark's display name.
+func (b Benchmark) String() string {
+	switch b {
+	case BenchmarkIllegalWrite:
+		return "memory-write"
+	case BenchmarkIllegalRead:
+		return "memory-read"
+	default:
+		return fmt.Sprintf("Benchmark(%d)", int(b))
+	}
+}
+
+// Options configures framework construction.
+type Options struct {
+	SoC       soc.Config
+	Precharac precharac.Options
+	Delay     timingsim.DelayModel
+	// WorkIters sizes the benchmarks' legitimate work loop.
+	WorkIters uint16
+	// CheckpointInterval is the golden-run checkpoint spacing.
+	CheckpointInterval int
+}
+
+// DefaultOptions returns the configuration used throughout the
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		SoC:                soc.DefaultConfig(),
+		Precharac:          precharac.DefaultOptions(),
+		Delay:              timingsim.DefaultDelayModel(),
+		WorkIters:          20,
+		CheckpointInterval: 32,
+	}
+}
+
+// Framework holds the per-design artifacts: the elaborated MPU, its
+// placement, and the pre-characterization. Build once, evaluate many
+// benchmarks/attacks against it.
+type Framework struct {
+	Opts  Options
+	MPU   *soc.MPU
+	Place *placement.Placement
+	Char  *precharac.Characterization
+}
+
+// Build elaborates the SoC design, places the MPU netlist, and runs the
+// (one-time) system pre-characterization with the synthetic benchmark.
+func Build(opts Options) (*Framework, error) {
+	mpu, err := soc.BuildMPU(opts.SoC.MPU)
+	if err != nil {
+		return nil, err
+	}
+	synth, err := soc.WithMPU(opts.SoC, soc.SyntheticProgram(opts.SoC.DMABase, opts.SoC.DMALimit), mpu)
+	if err != nil {
+		return nil, err
+	}
+	char, err := precharac.Characterize(synth, opts.Precharac)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{
+		Opts:  opts,
+		MPU:   mpu,
+		Place: placement.Place(mpu.Netlist),
+		Char:  char,
+	}, nil
+}
+
+// SecurityTarget returns the natural aim point of a precisely targeted
+// attack: the MPU's "legal" gate, whose output feeds both the grant and
+// the violation decision — a transient there bypasses the policy
+// coherently.
+func (f *Framework) SecurityTarget() netlist.NodeID {
+	return f.MPU.CriticalGate
+}
+
+// CandidateBlock returns a sub-block of the MPU's combinational gates
+// covering frac of the gate count (the paper samples P over "a sub-block
+// of gates of around 1/8 of MPU identified following [18]"). The block
+// is the spatial dilation of the security-decision logic: starting from
+// the gates that feed the responding signals within the next couple of
+// cycles (unroll indices 0–2 of the pre-characterized cones), it adds
+// the placement-nearest remaining gates until the budget is reached —
+// i.e. the physical neighbourhood an attacker aiming at the protection
+// logic would irradiate.
+func (f *Framework) CandidateBlock(frac float64) []netlist.NodeID {
+	nl := f.MPU.Netlist
+	var comb []netlist.NodeID
+	for i := 0; i < nl.NumNodes(); i++ {
+		id := netlist.NodeID(i)
+		t := nl.Node(id).Type
+		if t.IsCombinational() && t != netlist.Const0 && t != netlist.Const1 {
+			comb = append(comb, id)
+		}
+	}
+	if frac >= 1 {
+		sort.Slice(comb, func(a, b int) bool { return comb[a] < comb[b] })
+		return comb
+	}
+	seed := map[netlist.NodeID]bool{}
+	for i := 0; i <= 2 && i <= f.Char.MaxUnrollIndex(); i++ {
+		for _, g := range f.Char.CombLayer(nl, i) {
+			seed[g] = true
+		}
+	}
+	if len(seed) == 0 {
+		seed[f.SecurityTarget()] = true
+	}
+	// Order every gate by its distance to the nearest seed gate
+	// (seeds themselves are at distance 0).
+	dist := make(map[netlist.NodeID]float64, len(comb))
+	for _, g := range comb {
+		if seed[g] {
+			dist[g] = 0
+			continue
+		}
+		best := -1.0
+		for s := range seed {
+			if d := f.Place.Dist(g, s); best < 0 || d < best {
+				best = d
+			}
+		}
+		dist[g] = best
+	}
+	sort.Slice(comb, func(a, b int) bool {
+		if dist[comb[a]] != dist[comb[b]] {
+			return dist[comb[a]] < dist[comb[b]]
+		}
+		return comb[a] < comb[b]
+	})
+	n := int(frac * float64(len(comb)))
+	if n < len(seed) {
+		n = len(seed) // never truncate the decision logic itself
+	}
+	if n < 1 {
+		n = 1
+	}
+	block := append([]netlist.NodeID(nil), comb[:n]...)
+	sort.Slice(block, func(a, b int) bool { return block[a] < block[b] })
+	return block
+}
+
+// AttackSpec describes the attack scenario at the framework level.
+type AttackSpec struct {
+	// TRange is the temporal accuracy: t is uniform over [0, TRange).
+	TRange int
+	// BlockFrac is the fraction of MPU gates the strike center ranges
+	// over (spatial targeting).
+	BlockFrac float64
+	// Technique holds the radiation parameters.
+	Technique fault.Radiation
+}
+
+// DefaultAttackSpec matches the paper's experimental setup: a 50-cycle
+// timing window and a sub-block of around 1/8 of the MPU.
+func DefaultAttackSpec() AttackSpec {
+	return AttackSpec{
+		TRange:    50,
+		BlockFrac: 0.125,
+		Technique: fault.DefaultRadiation(),
+	}
+}
+
+// NewAttack instantiates the nominal attack distribution f_{T,P}.
+func (f *Framework) NewAttack(spec AttackSpec) (*fault.Attack, error) {
+	return fault.NewAttack(
+		fmt.Sprintf("radiation-t%d-b%.3f", spec.TRange, spec.BlockFrac),
+		spec.TRange, spec.Technique, f.CandidateBlock(spec.BlockFrac), nil)
+}
+
+// Evaluation couples a benchmark with an attack model: it owns the SoC
+// instance, the Monte Carlo engine, and the golden run.
+type Evaluation struct {
+	Framework *Framework
+	Program   *soc.Program
+	Attack    *fault.Attack
+	Engine    *montecarlo.Engine
+	Golden    *montecarlo.Golden
+}
+
+// BenchmarkProgram builds one of the built-in benchmarks under the
+// framework's configuration.
+func (f *Framework) BenchmarkProgram(b Benchmark) (*soc.Program, error) {
+	cfg := f.Opts.SoC
+	switch b {
+	case BenchmarkIllegalWrite:
+		return soc.IllegalWriteProgram(f.Opts.WorkIters, cfg.DMABase, cfg.DMALimit), nil
+	case BenchmarkIllegalRead:
+		return soc.IllegalReadProgram(f.Opts.WorkIters, cfg.DMABase, cfg.DMALimit), nil
+	default:
+		return nil, fmt.Errorf("core: unknown benchmark %v", b)
+	}
+}
+
+// NewEvaluation prepares an SSF evaluation of the benchmark under the
+// attack spec: builds the SoC, the analytical evaluator, the engine,
+// and performs the golden run.
+func (f *Framework) NewEvaluation(b Benchmark, spec AttackSpec) (*Evaluation, error) {
+	prog, err := f.BenchmarkProgram(b)
+	if err != nil {
+		return nil, err
+	}
+	return f.NewEvaluationProgram(prog, spec)
+}
+
+// NewEvaluationProgram is NewEvaluation for a user-supplied program.
+// The program must contain exactly one marked access and declare its
+// metadata (Illegal, PreAttack).
+func (f *Framework) NewEvaluationProgram(prog *soc.Program, spec AttackSpec) (*Evaluation, error) {
+	attack, err := f.NewAttack(spec)
+	if err != nil {
+		return nil, err
+	}
+	return f.NewEvaluationAttack(prog, attack)
+}
+
+// NewEvaluationAttack prepares an evaluation for a fully custom attack
+// distribution (e.g. concentrated spatial targeting).
+func (f *Framework) NewEvaluationAttack(prog *soc.Program, attack *fault.Attack) (*Evaluation, error) {
+	s, err := soc.WithMPU(f.Opts.SoC, prog, f.MPU)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := analytical.New(f.MPU)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := montecarlo.New(s, attack, f.Place, f.Opts.Delay, f.Char, eval)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := engine.RunGolden(f.Opts.CheckpointInterval)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluation{
+		Framework: f,
+		Program:   prog,
+		Attack:    attack,
+		Engine:    engine,
+		Golden:    golden,
+	}, nil
+}
+
+// RandomSampler returns the baseline sampler (draws from f_{T,P}).
+func (e *Evaluation) RandomSampler() sampling.Sampler {
+	return &sampling.Random{Attack: e.Attack}
+}
+
+// ConeSampler returns the fanin/fanout-cone-restricted sampler.
+func (e *Evaluation) ConeSampler() (sampling.Sampler, error) {
+	return sampling.NewCone(e.Attack, e.Framework.Char, e.Framework.MPU.Netlist, e.Framework.Place)
+}
+
+// ImportanceSampler returns the paper's pre-characterization-driven
+// sampler with default α/β.
+func (e *Evaluation) ImportanceSampler() (sampling.Sampler, error) {
+	return e.ImportanceSamplerAB(sampling.DefaultAlpha, sampling.DefaultBeta)
+}
+
+// ImportanceSamplerAB returns the importance sampler with explicit α/β.
+func (e *Evaluation) ImportanceSamplerAB(alpha, beta float64) (sampling.Sampler, error) {
+	return sampling.NewImportance(e.Attack, e.Framework.Char, e.Framework.MPU.Netlist, e.Framework.Place, alpha, beta)
+}
+
+// DefaultCampaign returns campaign options with convergence tracking on.
+func DefaultCampaign(samples int) montecarlo.CampaignOptions {
+	return montecarlo.CampaignOptions{
+		Samples:          samples,
+		Mode:             montecarlo.GateAttack,
+		Seed:             1,
+		TrackConvergence: true,
+	}
+}
+
+// EvaluateSSF runs a campaign and returns it.
+func (e *Evaluation) EvaluateSSF(sampler sampling.Sampler, opts montecarlo.CampaignOptions) (*montecarlo.Campaign, error) {
+	return e.Engine.RunCampaign(sampler, opts)
+}
+
+// CloneEngines builds n independent engines over the same design,
+// benchmark, and attack — each with its own SoC instance and golden run
+// (the MPU elaboration, placement, and characterization are shared;
+// they are immutable). Use with montecarlo.RunCampaignParallel.
+func (e *Evaluation) CloneEngines(n int) ([]*montecarlo.Engine, error) {
+	f := e.Framework
+	out := make([]*montecarlo.Engine, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := soc.WithMPU(f.Opts.SoC, e.Program, f.MPU)
+		if err != nil {
+			return nil, err
+		}
+		eval, err := analytical.New(f.MPU)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := montecarlo.New(s, e.Attack, f.Place, f.Opts.Delay, f.Char, eval)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.RunGolden(f.Opts.CheckpointInterval); err != nil {
+			return nil, err
+		}
+		out = append(out, eng)
+	}
+	return out, nil
+}
+
+// EvaluateSSFParallel runs the campaign across the given number of
+// worker engines.
+func (e *Evaluation) EvaluateSSFParallel(sampler sampling.Sampler, opts montecarlo.CampaignOptions, workers int) (*montecarlo.Campaign, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	engines, err := e.CloneEngines(workers)
+	if err != nil {
+		return nil, err
+	}
+	return montecarlo.RunCampaignParallel(engines, sampler, opts)
+}

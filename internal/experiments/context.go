@@ -1,0 +1,68 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic SoC. Each driver returns a
+// structured result plus a rendered text report; the cmd/experiments
+// binary and the root bench harness call these drivers.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/montecarlo"
+)
+
+// Context shares the expensive artifacts (framework build with
+// pre-characterization, golden runs) across experiment drivers.
+type Context struct {
+	FW *core.Framework
+	// Samples scales every campaign; the paper's plots use 10k-20k.
+	Samples int
+	// Seed drives all campaigns.
+	Seed int64
+
+	evals map[core.Benchmark]*core.Evaluation
+}
+
+// NewContext builds the framework once. The pre-characterization depth
+// is raised to cover the Fig 11 temporal-accuracy sweep (up to 100
+// cycles).
+func NewContext(samples int) (*Context, error) {
+	opts := core.DefaultOptions()
+	opts.Precharac.MaxDepth = 101
+	fw, err := core.Build(opts)
+	if err != nil {
+		return nil, err
+	}
+	if samples < 1 {
+		samples = 10000
+	}
+	return &Context{
+		FW:      fw,
+		Samples: samples,
+		Seed:    1,
+		evals:   make(map[core.Benchmark]*core.Evaluation),
+	}, nil
+}
+
+// Eval returns (building lazily) the evaluation of a benchmark under
+// the default attack spec.
+func (c *Context) Eval(b core.Benchmark) (*core.Evaluation, error) {
+	if ev, ok := c.evals[b]; ok {
+		return ev, nil
+	}
+	ev, err := c.FW.NewEvaluation(b, core.DefaultAttackSpec())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: evaluation of %v: %w", b, err)
+	}
+	c.evals[b] = ev
+	return ev, nil
+}
+
+// campaign returns default campaign options at the context's scale.
+func (c *Context) campaign(mode montecarlo.Mode) montecarlo.CampaignOptions {
+	return montecarlo.CampaignOptions{
+		Samples: c.Samples,
+		Mode:    mode,
+		Seed:    c.Seed,
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/montecarlo"
+	"repro/internal/report"
+)
+
+// Fig10Result reproduces Figure 10: the outcome statistics of attacks
+// on combinational gates, and the SSF comparison between attacks on
+// combinational gates and on registers.
+type Fig10Result struct {
+	// Masked/MemOnly/Both are outcome-class shares of the gate-attack
+	// campaign (paper: 68.3% / 28.6% / 3.1%).
+	Masked, MemOnly, Both float64
+	// RTLShare is the fraction of runs that needed a full RTL resume
+	// (the quantity the classification is designed to minimize).
+	RTLShare float64
+	// Register/comb attack statistics (paper: 271 & 0.027 vs 70 &
+	// 0.007).
+	RegSuccesses, CombSuccesses int
+	RegSSF, CombSSF             float64
+	// CombShare is CombSSF / RegSSF (paper: ~25.8%).
+	CombShare float64
+}
+
+// Fig10 runs the outcome-class and surface-comparison analysis.
+func Fig10(c *Context) (*Fig10Result, error) {
+	ev, err := c.Eval(core.BenchmarkIllegalWrite)
+	if err != nil {
+		return nil, err
+	}
+	gate, err := ev.Engine.RunCampaign(ev.RandomSampler(), c.campaign(montecarlo.GateAttack))
+	if err != nil {
+		return nil, err
+	}
+	regOpts := c.campaign(montecarlo.RegisterAttack)
+	regOpts.Seed = c.Seed + 1
+	reg, err := ev.Engine.RunCampaign(ev.RandomSampler(), regOpts)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(gate.Options.Samples)
+	r := &Fig10Result{
+		Masked:        float64(gate.ClassCounts[montecarlo.Masked]) / n,
+		MemOnly:       float64(gate.ClassCounts[montecarlo.MemoryOnly]) / n,
+		Both:          float64(gate.ClassCounts[montecarlo.Mixed]) / n,
+		RTLShare:      float64(gate.PathCounts[montecarlo.PathRTL]) / n,
+		RegSuccesses:  reg.Successes,
+		CombSuccesses: gate.Successes,
+		RegSSF:        reg.SSF(),
+		CombSSF:       gate.SSF(),
+	}
+	if r.RegSSF > 0 {
+		r.CombShare = r.CombSSF / r.RegSSF
+	}
+	return r, nil
+}
+
+// String renders the figure.
+func (r *Fig10Result) String() string {
+	var sb strings.Builder
+	a := report.NewTable("Fig 10(a): outcome of gate attacks", "class", "share", "paper")
+	a.Row("masked", report.Percent(r.Masked), "68.3%")
+	a.Row("memory-type only", report.Percent(r.MemOnly), "28.6%")
+	a.Row("both", report.Percent(r.Both), "3.1%")
+	a.Row("needed RTL resume", report.Percent(r.RTLShare), "3.1%")
+	a.Render(&sb)
+	b := report.NewTable("Fig 10(b): SSF by attack surface",
+		"strategy", "# succ. attacks", "SSF")
+	b.Row("registers", r.RegSuccesses, r.RegSSF)
+	b.Row("comb. gates", r.CombSuccesses, r.CombSSF)
+	b.Render(&sb)
+	sb.WriteString("  comb/reg SSF ratio: " + report.Percent(r.CombShare) + " (paper: 25.8%)\n")
+	return sb.String()
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Fig8Result reproduces Figure 8: the importance-sampling timing
+// distribution and the sample-space reduction of the
+// pre-characterization.
+type Fig8Result struct {
+	// TimingProbs is g_T per timing distance.
+	TimingProbs []float64
+	// TotalRegs is the design's register count.
+	TotalRegs int
+	// FaninRegs / FaninCompRegs count, per unroll depth, the
+	// registers (resp. computation-type registers) of the fanin
+	// cone, normalized by TotalRegs.
+	FaninRegs     []float64
+	FaninCompRegs []float64
+}
+
+// Fig8 builds the sampling-distribution and sample-space report.
+func Fig8(c *Context) (*Fig8Result, error) {
+	ev, err := c.Eval(core.BenchmarkIllegalWrite)
+	if err != nil {
+		return nil, err
+	}
+	is, err := ev.ImportanceSampler()
+	if err != nil {
+		return nil, err
+	}
+	nl := c.FW.MPU.Netlist
+	char := c.FW.Char
+	r := &Fig8Result{
+		TimingProbs: is.TimingProbs(),
+		TotalRegs:   len(nl.Regs()),
+	}
+	all := char.FaninRegsByDepth(nl)
+	comp := char.FaninCompRegsByDepth(nl)
+	depths := len(all)
+	if depths > 21 {
+		depths = 21
+	}
+	for d := 0; d < depths; d++ {
+		r.FaninRegs = append(r.FaninRegs, float64(len(all[d]))/float64(r.TotalRegs))
+		r.FaninCompRegs = append(r.FaninCompRegs, float64(len(comp[d]))/float64(r.TotalRegs))
+	}
+	return r, nil
+}
+
+// String renders the figure.
+func (r *Fig8Result) String() string {
+	var sb strings.Builder
+	a := report.NewSeries("Fig 8(a): importance-sampling distribution g_T over timing distance")
+	for t, p := range r.TimingProbs {
+		if t > 40 {
+			break
+		}
+		a.Point(fmt.Sprintf("t=%d", t), p)
+	}
+	a.Render(&sb)
+	b := report.NewTable("Fig 8(b): sample-space reduction (normalized register count)",
+		"unroll depth", "total", "fanin cone", "fanin cone comp.")
+	for d := range r.FaninRegs {
+		b.Row(d, 1.0, r.FaninRegs[d], r.FaninCompRegs[d])
+	}
+	b.Render(&sb)
+	return sb.String()
+}

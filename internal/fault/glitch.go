@@ -1,0 +1,74 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ClockGlitch characterizes a clock-modification technique: for one
+// cycle the capture edge arrives early by a glitch depth (ps). Unlike a
+// radiation spot, the effect is global — every register whose data path
+// is longer than the shortened period captures stale data — so the
+// technique parameter vector is just the depth, with cycle-to-cycle
+// variation.
+type ClockGlitch struct {
+	// Depth is the expected period reduction (ps); DepthJitter its
+	// uniform half-range.
+	Depth, DepthJitter float64
+	// ClockPeriod is the nominal cycle length.
+	ClockPeriod float64
+}
+
+// DefaultClockGlitch returns a glitcher that cuts roughly half of the
+// default 600 ps cycle, with substantial shot-to-shot variation.
+func DefaultClockGlitch() ClockGlitch {
+	return ClockGlitch{Depth: 300, DepthJitter: 150, ClockPeriod: 600}
+}
+
+// SampleDepth draws a glitch depth.
+func (c ClockGlitch) SampleDepth(rng *rand.Rand) float64 {
+	d := c.Depth + (rng.Float64()*2-1)*c.DepthJitter
+	if d < 0 {
+		d = 0
+	}
+	if d > c.ClockPeriod {
+		d = c.ClockPeriod
+	}
+	return d
+}
+
+// GlitchAttack is the nominal attack distribution of a clock-glitch
+// campaign: uniform timing distance over [0, TRange) and the
+// technique's depth variation.
+type GlitchAttack struct {
+	Name      string
+	TRange    int
+	Technique ClockGlitch
+}
+
+// NewGlitchAttack validates a glitch attack description.
+func NewGlitchAttack(name string, tRange int, tech ClockGlitch) (*GlitchAttack, error) {
+	if tRange < 1 {
+		return nil, fmt.Errorf("fault: TRange = %d", tRange)
+	}
+	if tech.ClockPeriod <= 0 {
+		return nil, fmt.Errorf("fault: clock period %v", tech.ClockPeriod)
+	}
+	return &GlitchAttack{Name: name, TRange: tRange, Technique: tech}, nil
+}
+
+// GlitchSample is one draw of the glitch parameters.
+type GlitchSample struct {
+	// T is the timing distance (injection cycle = Tt − T).
+	T int
+	// Depth is this shot's period reduction.
+	Depth float64
+}
+
+// SampleNominal draws from the attack's own distribution.
+func (a *GlitchAttack) SampleNominal(rng *rand.Rand) GlitchSample {
+	return GlitchSample{
+		T:     rng.Intn(a.TRange),
+		Depth: a.Technique.SampleDepth(rng),
+	}
+}

@@ -1,0 +1,135 @@
+package harden
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+)
+
+var (
+	evOnce sync.Once
+	ev     *core.Evaluation
+	evErr  error
+)
+
+func evaluation(t *testing.T) *core.Evaluation {
+	t.Helper()
+	evOnce.Do(func() {
+		opts := core.DefaultOptions()
+		opts.Precharac.MaxDepth = 51
+		opts.Precharac.Probes = 1
+		opts.Precharac.LifetimeCap = 120
+		fw, err := core.Build(opts)
+		if err != nil {
+			evErr = err
+			return
+		}
+		ev, evErr = fw.NewEvaluation(core.BenchmarkIllegalWrite, core.DefaultAttackSpec())
+	})
+	if evErr != nil {
+		t.Fatal(evErr)
+	}
+	return ev
+}
+
+func TestFromCritical(t *testing.T) {
+	ranked := []montecarlo.CriticalRegister{
+		{Reg: 10, Share: 0.7}, {Reg: 11, Share: 0.2}, {Reg: 12, Share: 0.1},
+	}
+	regs := FromCritical(ranked, 0.85)
+	if len(regs) != 2 || regs[0] != 10 || regs[1] != 11 {
+		t.Fatalf("FromCritical = %v", regs)
+	}
+	if len(FromCritical(ranked, 1.0)) != 3 {
+		t.Error("full coverage")
+	}
+}
+
+func TestAreaOverhead(t *testing.T) {
+	nl := netlist.New(16)
+	in := nl.AddInput("in")
+	g := nl.AddGate(netlist.Inv, in)
+	r1 := nl.AddDFF(g, "r1", false)
+	nl.AddDFF(g, "r2", false)
+	m := netlist.DefaultAreaModel()
+	total := m.TotalArea(nl)
+	p := Plan{Regs: []netlist.NodeID{r1}, Resilience: 10, AreaFactor: 3}
+	want := 2 * m.PerCell[netlist.DFF] / total
+	if got := p.AreaOverhead(nl); math.Abs(got-want) > 1e-12 {
+		t.Errorf("overhead %v, want %v", got, want)
+	}
+	// Hardening nothing costs nothing.
+	if (Plan{Resilience: 10, AreaFactor: 3}).AreaOverhead(nl) != 0 {
+		t.Error("empty plan should cost nothing")
+	}
+}
+
+func TestApplyRestores(t *testing.T) {
+	e := evaluation(t).Engine
+	p := Plan{Regs: e.SoC.MPU.Groups["cfg_perm1"], Resilience: 10, AreaFactor: 3}
+	if len(e.Hardened) != 0 {
+		t.Fatal("engine already hardened")
+	}
+	restore := p.Apply(e)
+	if len(e.Hardened) != len(p.Regs) {
+		t.Fatalf("hardened map size %d", len(e.Hardened))
+	}
+	if e.Hardened[p.Regs[0]] != 10 {
+		t.Error("resilience not installed")
+	}
+	restore()
+	if len(e.Hardened) != 0 {
+		t.Error("restore did not revert")
+	}
+}
+
+func TestEvaluateImprovesSecurity(t *testing.T) {
+	e := evaluation(t)
+	opts := montecarlo.CampaignOptions{Samples: 8000, Seed: 5, Mode: montecarlo.RegisterAttack}
+	// Identify critical registers first.
+	camp, err := e.Engine.RunCampaign(e.RandomSampler(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Successes == 0 {
+		t.Fatal("no successes to harden against")
+	}
+	ranked := camp.CriticalRegisters()
+	resil, area := DefaultCellParams()
+	plan := Plan{Regs: FromCritical(ranked, 0.95), Resilience: resil, AreaFactor: area}
+	res, err := Evaluate(e.Engine, e.RandomSampler(), opts, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseSSF <= 0 {
+		t.Fatal("base SSF zero")
+	}
+	if !res.HardenedNoSuccess && res.HardenedSSF >= res.BaseSSF {
+		t.Errorf("hardening did not improve: %v -> %v", res.BaseSSF, res.HardenedSSF)
+	}
+	if res.Improvement < 2 {
+		t.Errorf("improvement %.2fx, expected multi-x", res.Improvement)
+	}
+	if res.AreaOverhead <= 0 || res.AreaOverhead > 0.2 {
+		t.Errorf("area overhead %v implausible", res.AreaOverhead)
+	}
+	if res.NumRegs != len(plan.Regs) || res.RegFraction <= 0 {
+		t.Error("bookkeeping wrong")
+	}
+	// The engine must be left unhardened.
+	if len(e.Engine.Hardened) != 0 {
+		t.Error("Evaluate leaked hardening state")
+	}
+}
+
+func TestEvaluateEmptyPlan(t *testing.T) {
+	e := evaluation(t)
+	opts := montecarlo.CampaignOptions{Samples: 10, Seed: 1}
+	if _, err := Evaluate(e.Engine, e.RandomSampler(), opts, Plan{Resilience: 10, AreaFactor: 3}); err == nil {
+		t.Error("empty plan accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package hdl
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Short aliases keep the adder construction readable.
+const (
+	cellAnd  = netlist.And
+	cellOr   = netlist.Or
+	cellXor  = netlist.Xor
+	cellXnor = netlist.Xnor
+)
+
+// Arithmetic and comparison operators. All arithmetic is unsigned and
+// elaborates to ripple-carry structures; logic depth is not a concern at
+// the design sizes the framework targets and ripple adders keep the gate
+// count (and therefore the fault-injection surface) realistic for a
+// small embedded MPU datapath.
+
+// halfAdder returns (sum, carry).
+func (b *Builder) halfAdder(x, y Signal) (Signal, Signal) {
+	s := b.n.AddGate(cellXor, x[0], y[0])
+	c := b.n.AddGate(cellAnd, x[0], y[0])
+	return Signal{s}, Signal{c}
+}
+
+// fullAdder returns (sum, carry).
+func (b *Builder) fullAdder(x, y, cin Signal) (Signal, Signal) {
+	axy := b.n.AddGate(cellXor, x[0], y[0])
+	s := b.n.AddGate(cellXor, axy, cin[0])
+	c1 := b.n.AddGate(cellAnd, x[0], y[0])
+	c2 := b.n.AddGate(cellAnd, axy, cin[0])
+	c := b.n.AddGate(cellOr, c1, c2)
+	return Signal{s}, Signal{c}
+}
+
+// AddC returns x + y + cin and the carry-out. cin must be 1 bit.
+func (b *Builder) AddC(x, y Signal, cin Signal) (sum Signal, cout Signal) {
+	w := b.checkSameWidth("ADD", x, y)
+	if cin.Width() != 1 {
+		panic("hdl: AddC carry-in must be 1 bit")
+	}
+	sum = make(Signal, w)
+	c := cin
+	for i := 0; i < w; i++ {
+		var s Signal
+		s, c = b.fullAdder(x.Bit(i), y.Bit(i), c)
+		sum[i] = s[0]
+	}
+	return sum, c
+}
+
+// Add returns x + y, truncated to the operand width.
+func (b *Builder) Add(x, y Signal) Signal {
+	s, _ := b.AddC(x, y, b.Const(0, 1))
+	return s
+}
+
+// Sub returns x - y (two's complement), truncated to the operand width.
+func (b *Builder) Sub(x, y Signal) Signal {
+	s, _ := b.AddC(x, b.Not(y), b.Const(1, 1))
+	return s
+}
+
+// Inc returns x + 1.
+func (b *Builder) Inc(x Signal) Signal {
+	return b.Add(x, b.Const(1, x.Width()))
+}
+
+// Eq returns a 1-bit signal: 1 iff x == y.
+func (b *Builder) Eq(x, y Signal) Signal {
+	b.checkSameWidth("EQ", x, y)
+	xn := b.bitwise(cellXnor, x, y)
+	return b.AndAll(xn)
+}
+
+// Ne returns a 1-bit signal: 1 iff x != y.
+func (b *Builder) Ne(x, y Signal) Signal {
+	b.checkSameWidth("NE", x, y)
+	xo := b.bitwise(cellXor, x, y)
+	return b.OrAll(xo)
+}
+
+// Ltu returns a 1-bit signal: 1 iff x < y, unsigned. Implemented as the
+// inverted carry-out of x + ~y + 1.
+func (b *Builder) Ltu(x, y Signal) Signal {
+	b.checkSameWidth("LTU", x, y)
+	_, cout := b.AddC(x, b.Not(y), b.Const(1, 1))
+	return b.Not(cout)
+}
+
+// Leu returns a 1-bit signal: 1 iff x <= y, unsigned.
+func (b *Builder) Leu(x, y Signal) Signal {
+	return b.Not(b.Ltu(y, x))
+}
+
+// Geu returns a 1-bit signal: 1 iff x >= y, unsigned.
+func (b *Builder) Geu(x, y Signal) Signal {
+	return b.Not(b.Ltu(x, y))
+}
+
+// Gtu returns a 1-bit signal: 1 iff x > y, unsigned.
+func (b *Builder) Gtu(x, y Signal) Signal { return b.Ltu(y, x) }
+
+// Decoder returns the one-hot decode of sel: output width is 2^sel.Width()
+// and bit i is 1 iff sel == i.
+func (b *Builder) Decoder(sel Signal) Signal {
+	w := sel.Width()
+	if w > 16 {
+		panic(fmt.Sprintf("hdl: Decoder width %d too large", w))
+	}
+	out := make(Signal, 1<<uint(w))
+	inv := b.Not(sel)
+	for i := range out {
+		terms := make(Signal, w)
+		for j := 0; j < w; j++ {
+			if i>>uint(j)&1 == 1 {
+				terms[j] = sel[j]
+			} else {
+				terms[j] = inv[j]
+			}
+		}
+		out[i] = b.AndAll(terms)[0]
+	}
+	return out
+}
+
+// SelectOneHot returns OR over i of (onehot[i] AND choices[i]): a one-hot
+// multiplexer. All choices must share a width; onehot width must equal
+// the number of choices.
+func (b *Builder) SelectOneHot(onehot Signal, choices []Signal) Signal {
+	if onehot.Width() != len(choices) {
+		panic(fmt.Sprintf("hdl: SelectOneHot %d selects, %d choices", onehot.Width(), len(choices)))
+	}
+	w := b.checkSameWidth("SELECT", choices...)
+	masked := make([]Signal, len(choices))
+	for i, c := range choices {
+		sel := make(Signal, w)
+		for j := 0; j < w; j++ {
+			sel[j] = onehot[i]
+		}
+		masked[i] = b.And(c, sel)
+	}
+	if len(masked) == 1 {
+		return masked[0]
+	}
+	return b.Or(masked...)
+}
+
+// ZeroExtend widens x to the given width by appending constant zeros.
+func (b *Builder) ZeroExtend(x Signal, width int) Signal {
+	if x.Width() > width {
+		panic(fmt.Sprintf("hdl: ZeroExtend to narrower width %d < %d", width, x.Width()))
+	}
+	out := append(Signal(nil), x...)
+	for len(out) < width {
+		out = append(out, b.constZero())
+	}
+	return out
+}
+
+// Repeat returns a signal of the given width with every bit driven by
+// the single-bit x.
+func (b *Builder) Repeat(x Signal, width int) Signal {
+	if x.Width() != 1 {
+		panic("hdl: Repeat source must be 1 bit")
+	}
+	out := make(Signal, width)
+	for i := range out {
+		out[i] = x[0]
+	}
+	return out
+}

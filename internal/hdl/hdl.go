@@ -1,0 +1,298 @@
+// Package hdl is a small hardware-construction DSL: it lets Go code
+// describe multi-bit registers and combinational logic, and elaborates
+// the description into a flat gate-level netlist (internal/netlist).
+//
+// The MPU of the synthetic SoC (internal/soc) is described with this
+// package, which gives the framework a design with a consistent
+// register-level and gate-level view — the property the paper's
+// cross-level simulation relies on.
+package hdl
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Signal is a bundle of single-bit nets, least-significant bit first.
+type Signal []netlist.NodeID
+
+// Width returns the number of bits in the signal.
+func (s Signal) Width() int { return len(s) }
+
+// Bit returns the i-th bit (LSB = 0) as a 1-bit signal.
+func (s Signal) Bit(i int) Signal { return Signal{s[i]} }
+
+// Bits returns bits [lo, hi] inclusive as a new signal.
+func (s Signal) Bits(hi, lo int) Signal {
+	if lo < 0 || hi >= len(s) || lo > hi {
+		panic(fmt.Sprintf("hdl: Bits(%d, %d) out of range for width %d", hi, lo, len(s)))
+	}
+	out := make(Signal, hi-lo+1)
+	copy(out, s[lo:hi+1])
+	return out
+}
+
+// Concat concatenates signals LSB-first: Concat(lo, hi) places lo in the
+// low bits.
+func Concat(parts ...Signal) Signal {
+	var out Signal
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Reg is a multi-bit register under construction. Q is readable
+// immediately; the next-state function is attached with SetNext (exactly
+// once) before Build.
+type Reg struct {
+	Name string
+	Q    Signal
+	b    *Builder
+	set  bool
+}
+
+// Builder incrementally constructs a netlist.
+type Builder struct {
+	n       *netlist.Netlist
+	zero    netlist.NodeID
+	one     netlist.NodeID
+	hasZero bool
+	hasOne  bool
+	regs    []*Reg
+	groups  map[string][]netlist.NodeID
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		n:      netlist.New(256),
+		groups: make(map[string][]netlist.NodeID),
+	}
+}
+
+// Netlist exposes the netlist under construction. Most callers should
+// use Build, which validates first.
+func (b *Builder) Netlist() *netlist.Netlist { return b.n }
+
+// Input declares a named multi-bit primary input. Bit i is named
+// "name[i]".
+func (b *Builder) Input(name string, width int) Signal {
+	s := make(Signal, width)
+	for i := range s {
+		s[i] = b.n.AddInput(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return s
+}
+
+// Const returns a constant signal of the given width holding value
+// (low width bits).
+func (b *Builder) Const(value uint64, width int) Signal {
+	s := make(Signal, width)
+	for i := range s {
+		if value>>uint(i)&1 == 1 {
+			s[i] = b.constOne()
+		} else {
+			s[i] = b.constZero()
+		}
+	}
+	return s
+}
+
+func (b *Builder) constZero() netlist.NodeID {
+	if !b.hasZero {
+		b.zero = b.n.AddConst(false)
+		b.hasZero = true
+	}
+	return b.zero
+}
+
+func (b *Builder) constOne() netlist.NodeID {
+	if !b.hasOne {
+		b.one = b.n.AddConst(true)
+		b.hasOne = true
+	}
+	return b.one
+}
+
+// Reg declares a named register of the given width with power-on value
+// init. Bit i of the register's DFF is named "name[i]". The next-state
+// input must be attached with SetNext before Build.
+func (b *Builder) Reg(name string, width int, init uint64) *Reg {
+	r := &Reg{Name: name, b: b}
+	r.Q = make(Signal, width)
+	bits := make([]netlist.NodeID, width)
+	for i := 0; i < width; i++ {
+		// The D input is patched by SetNext; use a placeholder tie
+		// cell so the node is structurally valid in the interim.
+		d := b.constZero()
+		id := b.n.AddDFF(d, fmt.Sprintf("%s[%d]", name, i), init>>uint(i)&1 == 1)
+		r.Q[i] = id
+		bits[i] = id
+	}
+	b.groups[name] = bits
+	b.regs = append(b.regs, r)
+	return r
+}
+
+// SetNext attaches the register's next-state function. Width must match.
+func (r *Reg) SetNext(d Signal) {
+	if r.set {
+		panic(fmt.Sprintf("hdl: register %q next-state set twice", r.Name))
+	}
+	if d.Width() != r.Q.Width() {
+		panic(fmt.Sprintf("hdl: register %q width %d, next-state width %d", r.Name, r.Q.Width(), d.Width()))
+	}
+	for i, q := range r.Q {
+		r.b.n.Node(q).Fanin[0] = d[i]
+	}
+	r.set = true
+}
+
+// SetNextEn attaches a load-enable next-state: the register keeps its
+// value unless en (1 bit) is high, in which case it loads d. The DFFs
+// are marked clock-gated by en, which the timed fault simulator uses:
+// transients on the recirculation path rarely latch while the enable is
+// low.
+func (r *Reg) SetNextEn(en Signal, d Signal) {
+	if en.Width() != 1 {
+		panic(fmt.Sprintf("hdl: register %q enable must be 1 bit", r.Name))
+	}
+	r.SetNext(r.b.Mux(en, r.Q, d))
+	for _, q := range r.Q {
+		r.b.n.SetDFFEnable(q, en[0])
+	}
+}
+
+// Output declares a named primary output. Bit i is exported as
+// "name[i]".
+func (b *Builder) Output(name string, s Signal) {
+	for i, id := range s {
+		b.n.AddOutput(fmt.Sprintf("%s[%d]", name, i), id)
+	}
+}
+
+// RegGroups returns the map from register name to the DFF node ids of
+// its bits (LSB first). The caller must not mutate the slices.
+func (b *Builder) RegGroups() map[string][]netlist.NodeID { return b.groups }
+
+// Build finalizes the design: verifies that every register has a
+// next-state function and that the netlist is structurally valid.
+func (b *Builder) Build() (*netlist.Netlist, error) {
+	for _, r := range b.regs {
+		if !r.set {
+			return nil, fmt.Errorf("hdl: register %q has no next-state function", r.Name)
+		}
+	}
+	if err := b.n.Validate(); err != nil {
+		return nil, err
+	}
+	return b.n, nil
+}
+
+// --- Bitwise operators -------------------------------------------------
+
+func (b *Builder) checkSameWidth(op string, xs ...Signal) int {
+	w := xs[0].Width()
+	for _, x := range xs[1:] {
+		if x.Width() != w {
+			panic(fmt.Sprintf("hdl: %s width mismatch: %d vs %d", op, w, x.Width()))
+		}
+	}
+	return w
+}
+
+func (b *Builder) bitwise(t netlist.CellType, xs ...Signal) Signal {
+	w := b.checkSameWidth(t.String(), xs...)
+	out := make(Signal, w)
+	fi := make([]netlist.NodeID, len(xs))
+	for i := 0; i < w; i++ {
+		for j, x := range xs {
+			fi[j] = x[i]
+		}
+		out[i] = b.n.AddGate(t, fi...)
+	}
+	return out
+}
+
+// Buf inserts a buffer on every bit (isolation/repeater cells; relevant
+// as fault-injection surface in the timed simulator).
+func (b *Builder) Buf(x Signal) Signal {
+	out := make(Signal, x.Width())
+	for i, id := range x {
+		out[i] = b.n.AddGate(netlist.Buf, id)
+	}
+	return out
+}
+
+// Not inverts every bit.
+func (b *Builder) Not(x Signal) Signal {
+	out := make(Signal, x.Width())
+	for i, id := range x {
+		out[i] = b.n.AddGate(netlist.Inv, id)
+	}
+	return out
+}
+
+// And returns the bitwise AND of two or more equal-width signals.
+func (b *Builder) And(xs ...Signal) Signal { return b.bitwise(netlist.And, xs...) }
+
+// Or returns the bitwise OR of two or more equal-width signals.
+func (b *Builder) Or(xs ...Signal) Signal { return b.bitwise(netlist.Or, xs...) }
+
+// Xor returns the bitwise XOR of two or more equal-width signals.
+func (b *Builder) Xor(xs ...Signal) Signal { return b.bitwise(netlist.Xor, xs...) }
+
+// Nand returns the bitwise NAND of two or more equal-width signals.
+func (b *Builder) Nand(xs ...Signal) Signal { return b.bitwise(netlist.Nand, xs...) }
+
+// Nor returns the bitwise NOR of two or more equal-width signals.
+func (b *Builder) Nor(xs ...Signal) Signal { return b.bitwise(netlist.Nor, xs...) }
+
+// Mux returns a per-bit 2:1 multiplexer: sel == 0 selects a, sel == 1
+// selects b. sel must be 1 bit wide; a and b must have equal width.
+func (b *Builder) Mux(sel Signal, a, b2 Signal) Signal {
+	if sel.Width() != 1 {
+		panic("hdl: Mux select must be 1 bit")
+	}
+	w := b.checkSameWidth("MUX2", a, b2)
+	out := make(Signal, w)
+	for i := 0; i < w; i++ {
+		out[i] = b.n.AddGate(netlist.Mux2, a[i], b2[i], sel[0])
+	}
+	return out
+}
+
+// --- Reductions ---------------------------------------------------------
+
+func (b *Builder) reduce(t netlist.CellType, x Signal) Signal {
+	if x.Width() == 0 {
+		panic("hdl: reduction of empty signal")
+	}
+	if x.Width() == 1 {
+		return Signal{x[0]}
+	}
+	// Balanced tree keeps logic depth logarithmic.
+	cur := append(Signal(nil), x...)
+	for len(cur) > 1 {
+		var next Signal
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, b.n.AddGate(t, cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// AndAll reduces the signal to a single bit that is 1 iff every bit is 1.
+func (b *Builder) AndAll(x Signal) Signal { return b.reduce(netlist.And, x) }
+
+// OrAll reduces the signal to a single bit that is 1 iff any bit is 1.
+func (b *Builder) OrAll(x Signal) Signal { return b.reduce(netlist.Or, x) }
+
+// XorAll reduces the signal to its parity bit.
+func (b *Builder) XorAll(x Signal) Signal { return b.reduce(netlist.Xor, x) }

@@ -1,0 +1,216 @@
+// Package logicsim provides zero-delay cycle simulation of a gate-level
+// netlist. Every net carries a 64-bit word, so a single pass evaluates 64
+// independent lanes; the framework uses the lanes in two ways:
+//
+//   - scalar simulation (lane 0 only) for RTL-style cycle stepping, and
+//   - bit-parallel evaluation, where the 64 lanes hold 64 consecutive
+//     cycles of register/input values, and a single combinational pass
+//     yields 64 cycles of values for every internal gate. This is the
+//     "fast bit-parallel calculation" the paper's pre-characterization
+//     uses to derive switching signatures.
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// AllLanes is the word with every lane set.
+const AllLanes = ^uint64(0)
+
+// Simulator evaluates a netlist cycle by cycle. It is not safe for
+// concurrent use; clone one per goroutine with Fork.
+type Simulator struct {
+	nl    *netlist.Netlist
+	order []netlist.NodeID
+	vals  []uint64
+}
+
+// New builds a simulator for the netlist. The netlist must be valid; the
+// combinational topological order is computed once and reused every
+// cycle. Registers power on to their declared init values.
+func New(nl *netlist.Netlist) (*Simulator, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		nl:    nl,
+		order: order,
+		vals:  make([]uint64, nl.NumNodes()),
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Fork returns an independent simulator sharing the (immutable) netlist
+// and topological order but with its own value state, initialized to a
+// copy of the receiver's current state.
+func (s *Simulator) Fork() *Simulator {
+	c := &Simulator{nl: s.nl, order: s.order, vals: make([]uint64, len(s.vals))}
+	copy(c.vals, s.vals)
+	return c
+}
+
+// Netlist returns the simulated netlist.
+func (s *Simulator) Netlist() *netlist.Netlist { return s.nl }
+
+// Reset restores every register to its power-on value (in all lanes) and
+// clears every input.
+func (s *Simulator) Reset() {
+	for i := range s.vals {
+		s.vals[i] = 0
+	}
+	for _, r := range s.nl.Regs() {
+		if s.nl.Node(r).Init {
+			s.vals[r] = AllLanes
+		}
+	}
+}
+
+// SetInput drives a primary input with a 64-lane word.
+func (s *Simulator) SetInput(id netlist.NodeID, word uint64) {
+	if s.nl.Node(id).Type != netlist.Input {
+		panic(fmt.Sprintf("logicsim: SetInput on non-input node %d (%v)", id, s.nl.Node(id).Type))
+	}
+	s.vals[id] = word
+}
+
+// SetInputBool drives a primary input with the same value in all lanes.
+func (s *Simulator) SetInputBool(id netlist.NodeID, v bool) {
+	if v {
+		s.SetInput(id, AllLanes)
+	} else {
+		s.SetInput(id, 0)
+	}
+}
+
+// Eval propagates the current input and register values through the
+// combinational logic. It does not advance registers.
+func (s *Simulator) Eval() {
+	var in [8]uint64
+	for _, id := range s.order {
+		node := s.nl.Node(id)
+		fi := node.Fanin
+		args := in[:len(fi)]
+		if len(fi) > len(in) {
+			args = make([]uint64, len(fi))
+		}
+		for j, f := range fi {
+			args[j] = s.vals[f]
+		}
+		s.vals[id] = netlist.EvalCell(node.Type, args)
+	}
+}
+
+// Latch advances every register: each DFF captures the current value of
+// its data input. Callers normally use Step, which evaluates first.
+func (s *Simulator) Latch() {
+	regs := s.nl.Regs()
+	next := make([]uint64, len(regs))
+	for i, r := range regs {
+		next[i] = s.vals[s.nl.Node(r).Fanin[0]]
+	}
+	for i, r := range regs {
+		s.vals[r] = next[i]
+	}
+}
+
+// Step runs one full clock cycle: combinational evaluation followed by
+// the register latch.
+func (s *Simulator) Step() {
+	s.Eval()
+	s.Latch()
+}
+
+// Val returns the current 64-lane word on the node's output net.
+func (s *Simulator) Val(id netlist.NodeID) uint64 { return s.vals[id] }
+
+// Bool returns lane 0 of the node's output net.
+func (s *Simulator) Bool(id netlist.NodeID) bool { return s.vals[id]&1 == 1 }
+
+// Lane returns the given lane of the node's output net.
+func (s *Simulator) Lane(id netlist.NodeID, lane int) bool {
+	return s.vals[id]>>uint(lane)&1 == 1
+}
+
+// SetReg overwrites a register's current output value (all 64 lanes).
+// This is the fault-injection hook: flipping a register bit after a
+// gate-level injection cycle is SetReg(r, Val(r) ^ lanes).
+func (s *Simulator) SetReg(id netlist.NodeID, word uint64) {
+	if s.nl.Node(id).Type != netlist.DFF {
+		panic(fmt.Sprintf("logicsim: SetReg on non-register node %d", id))
+	}
+	s.vals[id] = word
+}
+
+// FlipReg inverts a register's value in lane 0 (the scalar lane).
+func (s *Simulator) FlipReg(id netlist.NodeID) {
+	if s.nl.Node(id).Type != netlist.DFF {
+		panic(fmt.Sprintf("logicsim: FlipReg on non-register node %d", id))
+	}
+	s.vals[id] ^= 1
+}
+
+// RegState captures the current register values (all lanes) in the order
+// of Netlist.Regs. It is the checkpoint payload for golden-run restart.
+func (s *Simulator) RegState() []uint64 {
+	regs := s.nl.Regs()
+	out := make([]uint64, len(regs))
+	for i, r := range regs {
+		out[i] = s.vals[r]
+	}
+	return out
+}
+
+// SetRegState restores register values captured by RegState.
+func (s *Simulator) SetRegState(state []uint64) {
+	regs := s.nl.Regs()
+	if len(state) != len(regs) {
+		panic(fmt.Sprintf("logicsim: SetRegState with %d values for %d regs", len(state), len(regs)))
+	}
+	for i, r := range regs {
+		s.vals[r] = state[i]
+	}
+}
+
+// Signal helpers: multi-bit values over groups of nodes (LSB first),
+// matching hdl.Signal layout.
+
+// ReadWord returns lane 0 of the listed nodes packed LSB-first into a
+// uint64.
+func (s *Simulator) ReadWord(bits []netlist.NodeID) uint64 {
+	var v uint64
+	for i, id := range bits {
+		if s.vals[id]&1 == 1 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// DriveWord drives the listed input nodes (LSB first) with the bits of v
+// in all lanes of each node.
+func (s *Simulator) DriveWord(bits []netlist.NodeID, v uint64) {
+	for i, id := range bits {
+		s.SetInputBool(id, v>>uint(i)&1 == 1)
+	}
+}
+
+// DriveWordLanes drives the listed input nodes (LSB first) with per-lane
+// values: vals[lane] supplies the multi-bit value for that lane.
+func (s *Simulator) DriveWordLanes(bits []netlist.NodeID, vals []uint64) {
+	if len(vals) > 64 {
+		panic("logicsim: more than 64 lanes")
+	}
+	for i, id := range bits {
+		var word uint64
+		for lane, v := range vals {
+			if v>>uint(i)&1 == 1 {
+				word |= 1 << uint(lane)
+			}
+		}
+		s.SetInput(id, word)
+	}
+}

@@ -1,0 +1,174 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/timingsim"
+)
+
+// CampaignOptions configures a Monte Carlo campaign.
+type CampaignOptions struct {
+	// Samples is the number of fault-attack runs.
+	Samples int
+	// Mode selects gate or register attacks.
+	Mode Mode
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// TrackConvergence records the running SSF estimate after every
+	// sample (Fig 9(a)); costs one float per sample.
+	TrackConvergence bool
+	// TrackPatterns records the distinct latched error patterns
+	// (Fig 7(b)); costs one map entry per distinct pattern.
+	TrackPatterns bool
+}
+
+// Campaign is the aggregate result of a sampling campaign.
+type Campaign struct {
+	SamplerName string
+	Options     CampaignOptions
+
+	// Est is the (importance-weighted) SSF estimator.
+	Est stats.Weighted
+	// Convergence is the running estimate per sample when tracked.
+	Convergence []float64
+	// ClassCounts histograms the latched-error classes (Fig 10(a)).
+	ClassCounts [3]int
+	// PathCounts histograms how outcomes were decided.
+	PathCounts [4]int
+	// Successes counts raw successful runs (unweighted).
+	Successes int
+	// RTLCycles accumulates the RTL resume cycles actually simulated
+	// (the cost the pre-characterization machinery saves).
+	RTLCycles int
+	// RegContribution attributes weighted success mass to each
+	// register involved in a successful attack (critical-register
+	// identification; not normalized).
+	RegContribution map[netlist.NodeID]float64
+	// Patterns holds distinct flipped-register patterns when tracked.
+	Patterns map[string]bool
+	// PatternCounts histograms the latched patterns by byte spread
+	// (Fig 7(a)) when tracking is on.
+	PatternCounts map[timingsim.PatternClass]int
+}
+
+// SSF returns the campaign's System Security Factor estimate.
+func (c *Campaign) SSF() float64 { return c.Est.Estimate() }
+
+// Variance returns the estimator's sample variance — the quantity the
+// paper's Fig 9(b) compares across strategies.
+func (c *Campaign) Variance() float64 { return c.Est.Variance() }
+
+// RunCampaign draws samples from the sampler and evaluates each with
+// the engine, accumulating the weighted SSF estimate. RunGolden must
+// have been called.
+func (e *Engine) RunCampaign(sampler sampling.Sampler, opts CampaignOptions) (*Campaign, error) {
+	if e.golden == nil {
+		return nil, fmt.Errorf("montecarlo: RunCampaign before RunGolden")
+	}
+	if opts.Samples < 1 {
+		return nil, fmt.Errorf("montecarlo: %d samples", opts.Samples)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := &Campaign{
+		SamplerName:     sampler.Name(),
+		Options:         opts,
+		RegContribution: make(map[netlist.NodeID]float64),
+	}
+	if opts.TrackConvergence {
+		c.Convergence = make([]float64, 0, opts.Samples)
+	}
+	var layout *timingsim.RegisterLayout
+	if opts.TrackPatterns {
+		c.Patterns = make(map[string]bool)
+		c.PatternCounts = make(map[timingsim.PatternClass]int)
+		layout = timingsim.NewRegisterLayout(e.SoC.MPU.Groups)
+	}
+	for i := 0; i < opts.Samples; i++ {
+		sample, weight := sampler.Draw(rng)
+		res := e.RunOnce(rng, sample, opts.Mode)
+		x := 0.0
+		if res.Success {
+			x = 1.0
+			c.Successes++
+			for _, r := range e.AttributeSuccess(sample, res.Flipped) {
+				c.RegContribution[r] += weight
+			}
+		}
+		c.Est.Add(x, weight)
+		c.ClassCounts[res.Class]++
+		c.PathCounts[res.Path]++
+		c.RTLCycles += res.ResumeCycles
+		if opts.TrackConvergence {
+			c.Convergence = append(c.Convergence, c.Est.Estimate())
+		}
+		if opts.TrackPatterns && len(res.Flipped) > 0 {
+			c.Patterns[timingsim.PatternKey(res.Flipped)] = true
+			c.PatternCounts[layout.Classify(res.Flipped)]++
+		}
+	}
+	return c, nil
+}
+
+// CriticalRegisters returns registers ranked by their share of the
+// total success mass, and the cumulative share covered by each prefix.
+// It implements the paper's identification of the ~3% of registers that
+// contribute >95% of SSF.
+type CriticalRegister struct {
+	Reg   netlist.NodeID
+	Share float64
+}
+
+// CriticalRegisters ranks registers by attributed success mass.
+func (c *Campaign) CriticalRegisters() []CriticalRegister {
+	return RankContributions(c.RegContribution)
+}
+
+// RankContributions merges one or more attribution maps (e.g. from a
+// gate-attack and a register-attack campaign) into a single normalized
+// ranking.
+func RankContributions(maps ...map[netlist.NodeID]float64) []CriticalRegister {
+	merged := map[netlist.NodeID]float64{}
+	total := 0.0
+	for _, m := range maps {
+		for r, v := range m {
+			merged[r] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]CriticalRegister, 0, len(merged))
+	for r, v := range merged {
+		out = append(out, CriticalRegister{Reg: r, Share: v / total})
+	}
+	// Deterministic order: by share desc, then id.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			if out[j].Share > out[j-1].Share ||
+				(out[j].Share == out[j-1].Share && out[j].Reg < out[j-1].Reg) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CoverageCount returns how many top-ranked registers are needed to
+// cover the given share (e.g. 0.95) of the success mass.
+func CoverageCount(ranked []CriticalRegister, share float64) int {
+	cum := 0.0
+	for i, cr := range ranked {
+		cum += cr.Share
+		if cum >= share-1e-9 {
+			return i + 1
+		}
+	}
+	return len(ranked)
+}

@@ -1,0 +1,443 @@
+// Package montecarlo is the cross-level evaluation engine (Section 5 of
+// the paper): it combines the RTL-level golden run with checkpoints, the
+// two-step importance sampling, gate-level fault injection of the
+// sampled cycle, and — depending on which registers latch errors —
+// analytical evaluation or an RTL resume compared against the golden
+// outcome. Its product is the System Security Factor estimate.
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/analytical"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/precharac"
+	"repro/internal/soc"
+	"repro/internal/timingsim"
+)
+
+// Mode selects what the strike physically hits.
+type Mode int
+
+// Attack modes.
+const (
+	// GateAttack injects voltage transients at combinational gates and
+	// lets the timed gate-level simulation decide which registers
+	// latch errors — the paper's primary model.
+	GateAttack Mode = iota
+	// RegisterAttack flips the struck registers directly (classic
+	// SEU model on sequential elements), used by the paper's Fig 7(b)
+	// and Fig 10(b) comparisons.
+	RegisterAttack
+)
+
+// OutcomeClass buckets where the latched errors ended up (Fig 10(a)).
+type OutcomeClass int
+
+// Outcome classes.
+const (
+	// Masked: no register latched an error.
+	Masked OutcomeClass = iota
+	// MemoryOnly: errors confined to memory-type registers.
+	MemoryOnly
+	// Mixed: at least one computation-type register got an error.
+	Mixed
+)
+
+// String returns the display name.
+func (c OutcomeClass) String() string {
+	switch c {
+	case Masked:
+		return "masked"
+	case MemoryOnly:
+		return "memory-only"
+	case Mixed:
+		return "both"
+	default:
+		return fmt.Sprintf("OutcomeClass(%d)", int(c))
+	}
+}
+
+// EvalPath records how a run's outcome was decided.
+type EvalPath int
+
+// Evaluation paths.
+const (
+	// PathMasked: nothing latched, outcome known immediately.
+	PathMasked EvalPath = iota
+	// PathAnalytical: memory-type-only errors, closed-form policy
+	// evaluation.
+	PathAnalytical
+	// PathPruned: computation-type errors whose lifetime cannot reach
+	// the target cycle — failure without resuming.
+	PathPruned
+	// PathRTL: full RTL resume to the marked access.
+	PathRTL
+)
+
+// String returns the display name.
+func (p EvalPath) String() string {
+	switch p {
+	case PathMasked:
+		return "masked"
+	case PathAnalytical:
+		return "analytical"
+	case PathPruned:
+		return "pruned"
+	case PathRTL:
+		return "rtl"
+	default:
+		return fmt.Sprintf("EvalPath(%d)", int(p))
+	}
+}
+
+// RunResult is the outcome of a single fault-attack run.
+type RunResult struct {
+	Success bool
+	Class   OutcomeClass
+	Path    EvalPath
+	// Flipped are the registers that latched errors (post-hardening).
+	Flipped []netlist.NodeID
+	// ResumeCycles counts RTL cycles simulated after injection.
+	ResumeCycles int
+}
+
+// Golden holds the golden-run artifacts: checkpoints, the target cycle,
+// the access log, and the fault-free outcome.
+type Golden struct {
+	Checkpoints []*soc.Checkpoint
+	Interval    int
+	// TargetCycle is Tt: the cycle the marked access's MPU decision
+	// latches.
+	TargetCycle int
+	// MarkedIssue is the cycle the marked access was driven.
+	MarkedIssue int
+	// SetupEnd is the first user-mode cycle (MPU configured).
+	SetupEnd int
+	// FinalCycle is when the golden run halted.
+	FinalCycle int
+	// Accesses is the full golden access log.
+	Accesses []soc.AccessEvent
+	// Policy is the configured protection policy.
+	Policy analytical.Policy
+}
+
+// Engine evaluates fault attacks on one SoC + benchmark. It is not safe
+// for concurrent use; create one engine per goroutine (sharing the MPU
+// elaboration via soc.WithMPU is fine).
+type Engine struct {
+	SoC    *soc.SoC
+	Attack *fault.Attack
+	Place  *placement.Placement
+	Timing *timingsim.Simulator
+
+	// Char enables memory/computation classification, the analytical
+	// path and lifetime pruning; nil forces RTL for everything.
+	Char *precharac.Characterization
+	// Analytical enables the closed-form path for memory-type-only
+	// errors; nil forces RTL for them.
+	Analytical *analytical.Evaluator
+
+	// Hardened maps a register to its resilience factor F: an error
+	// that would latch there survives with probability 1/F
+	// (soft-error-resilient cell designs, refs [19, 20] of the
+	// paper).
+	Hardened map[netlist.NodeID]float64
+
+	// ResumeMargin bounds the RTL resume beyond the golden final
+	// cycle (faulted runs can run longer, e.g. skipped traps).
+	ResumeMargin int
+
+	golden  *Golden
+	memType map[netlist.NodeID]bool
+}
+
+// New assembles an engine. The SoC must be loaded with the attack
+// benchmark (not the synthetic pre-characterization program).
+func New(s *soc.SoC, attack *fault.Attack, place *placement.Placement, dm timingsim.DelayModel, char *precharac.Characterization, eval *analytical.Evaluator) (*Engine, error) {
+	tsim, err := timingsim.New(s.MPU.Netlist, dm)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		SoC: s, Attack: attack, Place: place, Timing: tsim,
+		Char: char, Analytical: eval,
+		ResumeMargin: 200,
+	}
+	if char != nil {
+		e.memType = make(map[netlist.NodeID]bool, len(char.Regs))
+		for r, rc := range char.Regs {
+			e.memType[r] = rc.MemoryType
+		}
+	}
+	return e, nil
+}
+
+// Golden returns the golden-run artifacts (nil before RunGolden).
+func (e *Engine) Golden() *Golden { return e.golden }
+
+// RunGolden performs the fault-free reference run, dumping a checkpoint
+// every interval cycles, and verifies the security mechanism works: the
+// marked access must trap.
+func (e *Engine) RunGolden(interval int) (*Golden, error) {
+	if interval < 1 {
+		return nil, fmt.Errorf("montecarlo: checkpoint interval %d", interval)
+	}
+	s := e.SoC
+	s.Reset()
+	s.LogAccesses = true
+	s.Accesses = s.Accesses[:0]
+	g := &Golden{Interval: interval, SetupEnd: -1}
+	g.Checkpoints = append(g.Checkpoints, s.Snapshot())
+	for !s.Done() && s.Cycle() < s.Cfg.MaxCycles {
+		s.Step()
+		if g.SetupEnd < 0 && !s.Priv() {
+			g.SetupEnd = s.Cycle()
+		}
+		if s.Cycle()%interval == 0 {
+			g.Checkpoints = append(g.Checkpoints, s.Snapshot())
+		}
+	}
+	s.LogAccesses = false
+	if !s.Done() {
+		return nil, fmt.Errorf("montecarlo: golden run did not halt within %d cycles", s.Cfg.MaxCycles)
+	}
+	if !s.Marked.Resolved {
+		return nil, fmt.Errorf("montecarlo: golden run never issued the marked access")
+	}
+	if s.AttackSucceeded() {
+		return nil, fmt.Errorf("montecarlo: security mechanism broken — the marked access succeeded without any fault")
+	}
+	g.TargetCycle = s.Marked.DecisionCycle
+	g.MarkedIssue = s.Marked.IssueCycle
+	g.FinalCycle = s.Cycle()
+	g.Accesses = append([]soc.AccessEvent(nil), s.Accesses...)
+	if e.Analytical != nil {
+		// The policy is stable from SetupEnd to the end of the run;
+		// capture it from the final state.
+		g.Policy = e.Analytical.CurrentPolicy(s)
+	}
+	if e.Attack.TRange > g.TargetCycle-g.SetupEnd {
+		return nil, fmt.Errorf("montecarlo: TRange %d reaches into MPU setup (target %d, setup end %d)",
+			e.Attack.TRange, g.TargetCycle, g.SetupEnd)
+	}
+	e.golden = g
+	return g, nil
+}
+
+// restoreTo rewinds the SoC to the latest checkpoint at or before the
+// cycle and steps forward to it.
+func (e *Engine) restoreTo(cycle int) {
+	g := e.golden
+	idx := cycle / g.Interval
+	if idx >= len(g.Checkpoints) {
+		idx = len(g.Checkpoints) - 1
+	}
+	for idx > 0 && g.Checkpoints[idx].Cycle > cycle {
+		idx--
+	}
+	e.SoC.Restore(g.Checkpoints[idx])
+	for e.SoC.Cycle() < cycle {
+		e.SoC.Step()
+	}
+}
+
+// accessWindow returns the golden accesses issued in [from, to).
+func (g *Golden) accessWindow(from, to int) []soc.AccessEvent {
+	var out []soc.AccessEvent
+	for _, ev := range g.Accesses {
+		if ev.Cycle >= from && ev.Cycle < to {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// RunOnce executes one fault-attack run for the given sample. RunGolden
+// must have been called. rng drives hardening suppression only; the
+// sample itself is drawn by the caller.
+func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResult {
+	g := e.golden
+	te := g.TargetCycle - sample.T
+	e.restoreTo(te)
+
+	// Injection cycle(s): gate-level (or direct register) fault. A
+	// multi-cycle technique disturbs consecutive cycles with the same
+	// spot; cycles past the target decision cannot change the marked
+	// outcome and are clamped.
+	cycles := sample.Cycles
+	if cycles < 1 || mode == RegisterAttack {
+		cycles = 1
+	}
+	if max := g.TargetCycle - te + 1; cycles > max {
+		cycles = max
+	}
+	var flipped []netlist.NodeID
+	seen := map[netlist.NodeID]bool{}
+	for c := 0; c < cycles; c++ {
+		var cycleFlips []netlist.NodeID
+		e.SoC.StepInject(func(values func(netlist.NodeID) bool) []netlist.NodeID {
+			switch mode {
+			case GateAttack:
+				strike := e.Attack.Strike(e.Place, sample)
+				if len(strike.Gates) == 0 {
+					return nil
+				}
+				res := e.Timing.Inject(values, strike)
+				cycleFlips = e.applyHardening(rng, res.FlippedRegs)
+			case RegisterAttack:
+				var regs []netlist.NodeID
+				for _, id := range e.Place.WithinRadius(sample.Center, sample.Radius) {
+					if e.SoC.MPU.Netlist.Node(id).Type == netlist.DFF {
+						regs = append(regs, id)
+					}
+				}
+				cycleFlips = e.applyHardening(rng, regs)
+			}
+			return cycleFlips
+		})
+		for _, r := range cycleFlips {
+			if !seen[r] {
+				seen[r] = true
+				flipped = append(flipped, r)
+			}
+		}
+	}
+
+	res := RunResult{Flipped: flipped}
+	switch {
+	case len(flipped) == 0:
+		res.Class = Masked
+		res.Path = PathMasked
+		return res
+	case e.allMemoryType(flipped):
+		res.Class = MemoryOnly
+	default:
+		res.Class = Mixed
+	}
+
+	// The classification shortcuts assume a single-cycle disturbance;
+	// multi-cycle injections always resolve through RTL (after the
+	// masked check).
+	if cycles > 1 && res.Class != Masked {
+		res.Class = Mixed
+		res.Path = PathRTL
+		start := e.SoC.Cycle()
+		limit := g.FinalCycle + e.ResumeMargin
+		for !e.SoC.Done() && !e.SoC.Marked.Resolved && e.SoC.Cycle() < limit {
+			e.SoC.Step()
+		}
+		res.ResumeCycles = e.SoC.Cycle() - start
+		res.Success = e.SoC.AttackSucceeded()
+		return res
+	}
+
+	if res.Class == MemoryOnly && sample.T == 0 {
+		// The flips latch at the end of the target cycle itself —
+		// after the decision. Memory-type state cannot influence it
+		// anymore.
+		res.Path = PathPruned
+		return res
+	}
+	if res.Class == MemoryOnly && e.Analytical != nil && e.Analytical.Covers(flipped) && te > g.SetupEnd {
+		res.Path = PathAnalytical
+		window := g.accessWindow(te, g.MarkedIssue)
+		res.Success = e.Analytical.Outcome(g.Policy, e.SoC.Prog, window, flipped)
+		return res
+	}
+
+	// Lifetime pruning for computation-type-only errors: if no flipped
+	// register's error can survive until the target cycle, the attack
+	// fails without simulation.
+	if res.Class == Mixed && e.Char != nil && sample.T > 0 {
+		maxLife := 0.0
+		for _, r := range flipped {
+			if l := e.Char.Lifetime(r); l > maxLife {
+				maxLife = l
+			}
+		}
+		if maxLife < float64(sample.T) {
+			res.Path = PathPruned
+			return res
+		}
+	}
+
+	// Full RTL resume: run until the marked access resolves (or the
+	// run ends some other way — e.g. a spurious trap halts the core).
+	res.Path = PathRTL
+	start := e.SoC.Cycle()
+	limit := g.FinalCycle + e.ResumeMargin
+	for !e.SoC.Done() && !e.SoC.Marked.Resolved && e.SoC.Cycle() < limit {
+		e.SoC.Step()
+	}
+	res.ResumeCycles = e.SoC.Cycle() - start
+	res.Success = e.SoC.AttackSucceeded()
+	return res
+}
+
+// AttributeSuccess refines the register attribution of a successful
+// run: when the flipped set is analytically covered, each flip is
+// tested alone, and only the flips that are individually sufficient to
+// bypass the policy receive credit (a strike often latches bystander
+// bits alongside the one that matters). When no single flip suffices
+// (a conjunction) or the set is not analytically covered, the whole
+// set is credited.
+func (e *Engine) AttributeSuccess(sample fault.Sample, flipped []netlist.NodeID) []netlist.NodeID {
+	if e.Analytical == nil || !e.Analytical.Covers(flipped) || e.golden == nil {
+		return flipped
+	}
+	g := e.golden
+	te := g.TargetCycle - sample.T
+	window := g.accessWindow(te, g.MarkedIssue)
+	var solo []netlist.NodeID
+	for _, r := range flipped {
+		if e.Analytical.Outcome(g.Policy, e.SoC.Prog, window, []netlist.NodeID{r}) {
+			solo = append(solo, r)
+		}
+	}
+	if len(solo) > 0 {
+		return solo
+	}
+	return flipped
+}
+
+// allMemoryType reports whether every flipped register is memory-type:
+// either characterized as such by the lifetime campaign, or inert state
+// outside the responding-signal cones (which can never influence the
+// decision and is covered by the analytical model).
+func (e *Engine) allMemoryType(flipped []netlist.NodeID) bool {
+	if e.memType == nil {
+		return false
+	}
+	for _, r := range flipped {
+		if e.memType[r] {
+			continue
+		}
+		if e.Analytical != nil && e.Analytical.Inert(r) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// applyHardening drops flips on hardened registers with probability
+// 1 - 1/F.
+func (e *Engine) applyHardening(rng *rand.Rand, flips []netlist.NodeID) []netlist.NodeID {
+	if len(e.Hardened) == 0 {
+		return flips
+	}
+	out := flips[:0]
+	for _, r := range flips {
+		if f, ok := e.Hardened[r]; ok && f > 1 {
+			if rng.Float64() >= 1/f {
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// RunGlitchOnce executes one clock-glitch attack run: the capture edge
+// of the injection cycle Te = Tt − sample.T arrives sample.Depth early,
+// and every register whose data path had not settled latches the stale
+// previous-cycle value. Downstream classification reuses the standard
+// cross-level pipeline (masked / memory-type / RTL resume).
+func (e *Engine) RunGlitchOnce(rng *rand.Rand, sample fault.GlitchSample) RunResult {
+	g := e.golden
+	te := g.TargetCycle - sample.T
+	// Warm up to the cycle BEFORE the glitched one so its settled
+	// values are observable (the glitch capture compares consecutive
+	// cycles).
+	if te < 1 {
+		te = 1
+	}
+	e.restoreTo(te - 1)
+
+	nl := e.SoC.MPU.Netlist
+	prev := make([]bool, nl.NumNodes())
+	e.SoC.StepInject(func(values func(netlist.NodeID) bool) []netlist.NodeID {
+		for i := range prev {
+			prev[i] = values(netlist.NodeID(i))
+		}
+		return nil
+	})
+
+	glitchTime := e.Timing.ClockPeriod() - sample.Depth
+	var flipped []netlist.NodeID
+	e.SoC.StepInject(func(values func(netlist.NodeID) bool) []netlist.NodeID {
+		flipped = e.Timing.GlitchCapture(
+			func(id netlist.NodeID) bool { return prev[id] },
+			values, glitchTime)
+		flipped = e.applyHardening(rng, flipped)
+		return flipped
+	})
+
+	res := RunResult{Flipped: flipped}
+	switch {
+	case len(flipped) == 0:
+		res.Class = Masked
+		res.Path = PathMasked
+		return res
+	case e.allMemoryType(flipped):
+		res.Class = MemoryOnly
+	default:
+		res.Class = Mixed
+	}
+
+	// Glitch flips depend on value transitions, not pulse windows;
+	// the analytical and pruning shortcuts apply unchanged.
+	if res.Class == MemoryOnly && sample.T == 0 {
+		res.Path = PathPruned
+		return res
+	}
+	if res.Class == MemoryOnly && e.Analytical != nil && e.Analytical.Covers(flipped) && te > g.SetupEnd {
+		res.Path = PathAnalytical
+		window := g.accessWindow(te, g.MarkedIssue)
+		res.Success = e.Analytical.Outcome(g.Policy, e.SoC.Prog, window, flipped)
+		return res
+	}
+	if res.Class == Mixed && e.Char != nil && sample.T > 0 {
+		maxLife := 0.0
+		for _, r := range flipped {
+			if l := e.Char.Lifetime(r); l > maxLife {
+				maxLife = l
+			}
+		}
+		if maxLife < float64(sample.T) {
+			res.Path = PathPruned
+			return res
+		}
+	}
+
+	res.Path = PathRTL
+	start := e.SoC.Cycle()
+	limit := g.FinalCycle + e.ResumeMargin
+	for !e.SoC.Done() && !e.SoC.Marked.Resolved && e.SoC.Cycle() < limit {
+		e.SoC.Step()
+	}
+	res.ResumeCycles = e.SoC.Cycle() - start
+	res.Success = e.SoC.AttackSucceeded()
+	return res
+}
+
+// RunGlitchCampaign estimates the SSF of a clock-glitch attack by plain
+// Monte Carlo over the attack's own distribution (the glitch parameter
+// space is small enough that pre-characterization-driven sampling is
+// unnecessary).
+func (e *Engine) RunGlitchCampaign(attack *fault.GlitchAttack, opts CampaignOptions) (*Campaign, error) {
+	if e.golden == nil {
+		return nil, fmt.Errorf("montecarlo: RunGlitchCampaign before RunGolden")
+	}
+	if opts.Samples < 1 {
+		return nil, fmt.Errorf("montecarlo: %d samples", opts.Samples)
+	}
+	if attack.TRange > e.golden.TargetCycle-e.golden.SetupEnd {
+		return nil, fmt.Errorf("montecarlo: TRange %d reaches into MPU setup", attack.TRange)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	c := &Campaign{
+		SamplerName:     "glitch-random",
+		Options:         opts,
+		RegContribution: make(map[netlist.NodeID]float64),
+	}
+	if opts.TrackConvergence {
+		c.Convergence = make([]float64, 0, opts.Samples)
+	}
+	for i := 0; i < opts.Samples; i++ {
+		sample := attack.SampleNominal(rng)
+		res := e.RunGlitchOnce(rng, sample)
+		x := 0.0
+		if res.Success {
+			x = 1.0
+			c.Successes++
+			for _, r := range res.Flipped {
+				c.RegContribution[r] += 1
+			}
+		}
+		c.Est.Add(x, 1)
+		c.ClassCounts[res.Class]++
+		c.PathCounts[res.Path]++
+		c.RTLCycles += res.ResumeCycles
+		if opts.TrackConvergence {
+			c.Convergence = append(c.Convergence, c.Est.Estimate())
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,118 @@
+package montecarlo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/montecarlo"
+)
+
+func TestMultiCycleStrikeAccumulatesFlips(t *testing.T) {
+	fw := framework(t)
+	ev := evaluation(t)
+	// Aim a wide, well-timed strike at the security target. The
+	// single-cycle reference hits the decision cycle (t=0, where the
+	// request is in flight and the logic is sensitized); the
+	// multi-cycle strike starts two cycles earlier and spans the same
+	// decision cycle, so its accumulated flip set includes at least
+	// the reference's.
+	dm := fw.Opts.Delay
+	mk := func(tt, cycles int) fault.Sample {
+		return fault.Sample{
+			T:      tt,
+			Center: fw.SecurityTarget(),
+			Radius: 2.0,
+			Width:  dm.ClockPeriod * 1.2,
+			Time:   dm.ClockPeriod * 0.05,
+			Cycles: cycles,
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	r1 := ev.Engine.RunOnce(rng, mk(0, 1), montecarlo.GateAttack)
+	r3 := ev.Engine.RunOnce(rng, mk(2, 3), montecarlo.GateAttack)
+	if len(r1.Flipped) == 0 {
+		t.Fatal("single-cycle strike latched nothing; test setup broken")
+	}
+	if len(r3.Flipped) < len(r1.Flipped) {
+		t.Errorf("3-cycle strike flipped %d regs, single %d", len(r3.Flipped), len(r1.Flipped))
+	}
+	if r3.Class != montecarlo.Mixed || r3.Path != montecarlo.PathRTL {
+		t.Errorf("multi-cycle run class/path = %v/%v, want Mixed/RTL", r3.Class, r3.Path)
+	}
+}
+
+func TestMultiCycleClampedAtTarget(t *testing.T) {
+	fw := framework(t)
+	ev := evaluation(t)
+	dm := fw.Opts.Delay
+	// t = 0 with a 10-cycle disturbance: only the target cycle itself
+	// can be injected. The run must terminate normally.
+	s := fault.Sample{
+		T:      0,
+		Center: fw.SecurityTarget(),
+		Radius: 2.0,
+		Width:  dm.ClockPeriod * 1.2,
+		Time:   dm.ClockPeriod * 0.05,
+		Cycles: 10,
+	}
+	rng := rand.New(rand.NewSource(2))
+	res := ev.Engine.RunOnce(rng, s, montecarlo.GateAttack)
+	if !res.Success && len(res.Flipped) == 0 {
+		t.Error("clamped strike latched nothing despite favorable pulse")
+	}
+}
+
+func TestMultiCycleTechniqueSampling(t *testing.T) {
+	fw := framework(t)
+	tech := fault.DefaultRadiation()
+	tech.ImpactCycles = 4
+	attack, err := fault.NewAttack("multi", 10, tech, fw.CandidateBlock(0.125), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		if got := attack.SampleNominal(rng).Cycles; got != 4 {
+			t.Fatalf("sample cycles = %d", got)
+		}
+	}
+	// Default: 1.
+	if fault.DefaultRadiation().Cycles() != 1 {
+		t.Error("default cycles should be 1")
+	}
+}
+
+func TestMultiCycleRaisesSSF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fw := framework(t)
+	prog, _ := fw.BenchmarkProgram(core.BenchmarkIllegalWrite)
+	tech := fault.DefaultRadiation()
+	tech.ImpactCycles = 3
+	attack, err := fault.NewAttack("multi", 50, tech, fw.CandidateBlock(0.125), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evMulti, err := fw.NewEvaluationAttack(prog, attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evSingle := evaluation(t)
+	opts := montecarlo.CampaignOptions{Samples: 8000, Seed: 6}
+	multi, err := evMulti.Engine.RunCampaign(evMulti.RandomSampler(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := evSingle.Engine.RunCampaign(evSingle.RandomSampler(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three disturbed cycles give the transient three chances to
+	// catch the latch window: substantially more successes.
+	if multi.Successes <= single.Successes {
+		t.Errorf("multi-cycle %d successes vs single %d", multi.Successes, single.Successes)
+	}
+}

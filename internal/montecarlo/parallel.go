@@ -1,0 +1,201 @@
+package montecarlo
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sampling"
+	"repro/internal/timingsim"
+)
+
+// Merge folds another campaign (same sampler, same engine family) into
+// this one: estimator, class/path/success accounting, register
+// attribution, and pattern sets. Convergence traces are not merged
+// (they are per-shard sequences); the receiver's is cleared to avoid
+// misreading a partial trace as the whole campaign's.
+func (c *Campaign) Merge(o *Campaign) {
+	c.Est.Merge(o.Est)
+	c.Successes += o.Successes
+	c.RTLCycles += o.RTLCycles
+	for i := range c.ClassCounts {
+		c.ClassCounts[i] += o.ClassCounts[i]
+	}
+	for i := range c.PathCounts {
+		c.PathCounts[i] += o.PathCounts[i]
+	}
+	for r, v := range o.RegContribution {
+		c.RegContribution[r] += v
+	}
+	if o.Patterns != nil {
+		if c.Patterns == nil {
+			c.Patterns = make(map[string]bool)
+		}
+		for p := range o.Patterns {
+			c.Patterns[p] = true
+		}
+	}
+	if o.PatternCounts != nil {
+		if c.PatternCounts == nil {
+			c.PatternCounts = make(map[timingsim.PatternClass]int)
+		}
+		for k, n := range o.PatternCounts {
+			c.PatternCounts[k] += n
+		}
+	}
+	c.Convergence = nil
+	c.Options.Samples += o.Options.Samples
+}
+
+// RunCampaignParallel splits a campaign across the given engines, one
+// goroutine per engine, and merges the shard results. Every engine must
+// target the same design/benchmark/attack and have completed its golden
+// run; each shard draws from the shared sampler with its own
+// deterministically-derived seed, so the merged result is reproducible
+// (independent of scheduling) but differs from the sequential campaign
+// with the same seed.
+//
+// Samplers built by internal/sampling are safe for concurrent Draw with
+// distinct rngs (they are immutable after construction).
+func RunCampaignParallel(engines []*Engine, sampler sampling.Sampler, opts CampaignOptions) (*Campaign, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("montecarlo: no engines")
+	}
+	if opts.Samples < 1 {
+		return nil, fmt.Errorf("montecarlo: %d samples", opts.Samples)
+	}
+	if opts.TrackConvergence {
+		return nil, fmt.Errorf("montecarlo: convergence tracking is per-shard; run sequentially to trace convergence")
+	}
+	for i, e := range engines {
+		if e.golden == nil {
+			return nil, fmt.Errorf("montecarlo: engine %d has no golden run", i)
+		}
+	}
+	n := len(engines)
+	results := make([]*Campaign, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	base := opts.Samples / n
+	extra := opts.Samples % n
+	for i, e := range engines {
+		shard := opts
+		shard.Samples = base
+		if i < extra {
+			shard.Samples++
+		}
+		shard.Seed = opts.Seed*1000003 + int64(i)
+		if shard.Samples == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, e *Engine, shard CampaignOptions) {
+			defer wg.Done()
+			results[i], errs[i] = e.RunCampaign(sampler, shard)
+		}(i, e, shard)
+	}
+	wg.Wait()
+	var merged *Campaign
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if results[i] == nil {
+			continue
+		}
+		if merged == nil {
+			merged = results[i]
+			continue
+		}
+		merged.Merge(results[i])
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("montecarlo: no shards ran")
+	}
+	merged.Options.Seed = opts.Seed
+	return merged, nil
+}
+
+// AdaptiveOptions configures RunAdaptive.
+type AdaptiveOptions struct {
+	// Mode, Seed, TrackPatterns as in CampaignOptions.
+	Mode          Mode
+	Seed          int64
+	TrackPatterns bool
+	// Epsilon and Risk define the stopping criterion via the paper's
+	// weak-LLN bound: stop once
+	// Pr[|estimate − SSF| ≥ Epsilon] ≤ Risk, i.e.
+	// variance/(N·Epsilon²) ≤ Risk.
+	Epsilon, Risk float64
+	// MinSamples guards against stopping on a premature zero-variance
+	// streak; MaxSamples bounds the total effort.
+	MinSamples, MaxSamples int
+	// CheckEvery controls how often the bound is evaluated.
+	CheckEvery int
+}
+
+// DefaultAdaptive returns a criterion targeting ±eps at 5% risk.
+func DefaultAdaptive(eps float64) AdaptiveOptions {
+	return AdaptiveOptions{
+		Epsilon:    eps,
+		Risk:       0.05,
+		MinSamples: 2000,
+		MaxSamples: 1 << 20,
+		CheckEvery: 500,
+	}
+}
+
+// RunAdaptive samples until the weak-LLN convergence bound the paper
+// quotes drops below the requested risk ("the whole process is continued
+// until the empirical estimate converges"), then returns the campaign.
+func (e *Engine) RunAdaptive(sampler sampling.Sampler, opts AdaptiveOptions) (*Campaign, error) {
+	if e.golden == nil {
+		return nil, fmt.Errorf("montecarlo: RunAdaptive before RunGolden")
+	}
+	if opts.Epsilon <= 0 || opts.Risk <= 0 || opts.Risk >= 1 {
+		return nil, fmt.Errorf("montecarlo: bad criterion eps=%v risk=%v", opts.Epsilon, opts.Risk)
+	}
+	if opts.MinSamples < 1 {
+		opts.MinSamples = 1
+	}
+	if opts.MaxSamples < opts.MinSamples {
+		opts.MaxSamples = opts.MinSamples
+	}
+	if opts.CheckEvery < 1 {
+		opts.CheckEvery = 100
+	}
+	var total *Campaign
+	chunkIdx := int64(0)
+	for {
+		remaining := opts.MaxSamples
+		if total != nil {
+			remaining = opts.MaxSamples - total.Est.N()
+		}
+		if remaining <= 0 {
+			break
+		}
+		chunkN := opts.CheckEvery
+		if chunkN > remaining {
+			chunkN = remaining
+		}
+		chunk, err := e.RunCampaign(sampler, CampaignOptions{
+			Samples:       chunkN,
+			Mode:          opts.Mode,
+			Seed:          opts.Seed*999983 + chunkIdx,
+			TrackPatterns: opts.TrackPatterns,
+		})
+		if err != nil {
+			return nil, err
+		}
+		chunkIdx++
+		if total == nil {
+			total = chunk
+		} else {
+			total.Merge(chunk)
+		}
+		if total.Est.N() >= opts.MinSamples && total.Est.LLNBound(opts.Epsilon) <= opts.Risk {
+			break
+		}
+	}
+	total.Options.Seed = opts.Seed
+	return total, nil
+}

@@ -1,0 +1,101 @@
+package netlist
+
+// AreaModel maps cell types to relative silicon area. The defaults are
+// normalized gate-equivalent figures typical of standard-cell libraries;
+// exact values only matter for the hardening overhead experiment, which
+// reports ratios.
+type AreaModel struct {
+	PerCell [numCellTypes]float64
+	// PerExtraFanin is the incremental area per fanin beyond two for
+	// variadic gates (wide AND/OR trees synthesize to more transistors).
+	PerExtraFanin float64
+}
+
+// DefaultAreaModel returns gate-equivalent areas (NAND2 = 1.0).
+func DefaultAreaModel() AreaModel {
+	var m AreaModel
+	m.PerCell[Const0] = 0
+	m.PerCell[Const1] = 0
+	m.PerCell[Input] = 0
+	m.PerCell[Buf] = 0.75
+	m.PerCell[Inv] = 0.5
+	m.PerCell[And] = 1.25
+	m.PerCell[Nand] = 1.0
+	m.PerCell[Or] = 1.25
+	m.PerCell[Nor] = 1.0
+	m.PerCell[Xor] = 2.0
+	m.PerCell[Xnor] = 2.0
+	m.PerCell[Mux2] = 2.25
+	m.PerCell[DFF] = 4.5
+	m.PerExtraFanin = 0.5
+	return m
+}
+
+// CellArea returns the area of a single node under the model.
+func (m AreaModel) CellArea(node *Node) float64 {
+	a := m.PerCell[node.Type]
+	if extra := len(node.Fanin) - 2; extra > 0 && node.Type.FaninCount() < 0 {
+		a += float64(extra) * m.PerExtraFanin
+	}
+	return a
+}
+
+// TotalArea returns the summed area of every node in the netlist.
+func (m AreaModel) TotalArea(n *Netlist) float64 {
+	total := 0.0
+	for i := 0; i < n.NumNodes(); i++ {
+		total += m.CellArea(n.Node(i2id(i)))
+	}
+	return total
+}
+
+// RegArea returns the summed area of the given registers only.
+func (m AreaModel) RegArea(n *Netlist, regs []NodeID) float64 {
+	total := 0.0
+	for _, r := range regs {
+		total += m.CellArea(n.Node(r))
+	}
+	return total
+}
+
+func i2id(i int) NodeID { return NodeID(i) }
+
+// Stats summarizes the composition of a netlist.
+type Stats struct {
+	Nodes     int
+	Inputs    int
+	Outputs   int
+	Registers int
+	CombGates int
+	Constants int
+	ByType    map[CellType]int
+	Depth     int
+	Area      float64
+}
+
+// ComputeStats gathers netlist statistics under the default area model.
+func ComputeStats(n *Netlist) (Stats, error) {
+	s := Stats{ByType: make(map[CellType]int)}
+	s.Nodes = n.NumNodes()
+	s.Inputs = len(n.Inputs())
+	s.Outputs = len(n.Outputs())
+	for i := 0; i < n.NumNodes(); i++ {
+		node := n.Node(NodeID(i))
+		s.ByType[node.Type]++
+		switch {
+		case node.Type == DFF:
+			s.Registers++
+		case node.Type == Const0 || node.Type == Const1:
+			s.Constants++
+		case node.Type.IsCombinational():
+			s.CombGates++
+		}
+	}
+	d, err := n.Depth()
+	if err != nil {
+		return s, err
+	}
+	s.Depth = d
+	s.Area = DefaultAreaModel().TotalArea(n)
+	return s, nil
+}

@@ -1,0 +1,307 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Textual netlist format ("gnl"): a line-oriented, diff-friendly
+// serialization so designs can be stored, exchanged, or imported from
+// external tools.
+//
+//	gnl v1
+//	0 input "req_valid[0]"
+//	1 const0
+//	2 and 0 1
+//	3 dff 2 init=1 en=0 "cfg[0]"
+//	out "grant[0]" 2
+//
+// Node lines start with the node id and must appear in id order
+// starting at 0. Fanins may reference any id (DFF data/enable nets
+// legitimately point forward). Names are optional quoted strings.
+
+const gnlHeader = "gnl v1"
+
+var typeNames = map[CellType]string{
+	Const0: "const0", Const1: "const1", Input: "input", Buf: "buf",
+	Inv: "inv", And: "and", Nand: "nand", Or: "or", Nor: "nor",
+	Xor: "xor", Xnor: "xnor", Mux2: "mux2", DFF: "dff",
+}
+
+var typeByName = func() map[string]CellType {
+	m := make(map[string]CellType, len(typeNames))
+	for t, n := range typeNames {
+		m[n] = t
+	}
+	return m
+}()
+
+// Write serializes the netlist.
+func Write(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, gnlHeader)
+	for i := 0; i < n.NumNodes(); i++ {
+		node := n.Node(NodeID(i))
+		fmt.Fprintf(bw, "%d %s", i, typeNames[node.Type])
+		for _, f := range node.Fanin {
+			fmt.Fprintf(bw, " %d", f)
+		}
+		if node.Type == DFF {
+			if node.Init {
+				fmt.Fprint(bw, " init=1")
+			}
+			if node.En != Invalid {
+				fmt.Fprintf(bw, " en=%d", node.En)
+			}
+		}
+		if node.Name != "" {
+			fmt.Fprintf(bw, " %q", node.Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, p := range n.Outputs() {
+		fmt.Fprintf(bw, "out %q %d\n", p.Name, p.Node)
+	}
+	return bw.Flush()
+}
+
+// Read parses a netlist written by Write (or by hand/another tool in
+// the same format) and validates it structurally.
+func Read(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	header, ok := next()
+	if !ok || header != gnlHeader {
+		return nil, fmt.Errorf("gnl: missing %q header", gnlHeader)
+	}
+
+	type rawNode struct {
+		typ   CellType
+		fanin []NodeID
+		init  bool
+		en    NodeID
+		name  string
+	}
+	var nodes []rawNode
+	type rawOut struct {
+		name string
+		node NodeID
+	}
+	var outs []rawOut
+
+	for {
+		line, ok := next()
+		if !ok {
+			break
+		}
+		fields, err := splitFields(line)
+		if err != nil {
+			return nil, fmt.Errorf("gnl line %d: %v", lineNo, err)
+		}
+		if fields[0] == "out" {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("gnl line %d: out wants name and node", lineNo)
+			}
+			id, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("gnl line %d: bad output node %q", lineNo, fields[2])
+			}
+			name, err := strconv.Unquote(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("gnl line %d: bad output name %s", lineNo, fields[1])
+			}
+			outs = append(outs, rawOut{name: name, node: NodeID(id)})
+			continue
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("gnl line %d: bad node id %q", lineNo, fields[0])
+		}
+		if id != len(nodes) {
+			return nil, fmt.Errorf("gnl line %d: node id %d out of order (want %d)", lineNo, id, len(nodes))
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("gnl line %d: missing cell type", lineNo)
+		}
+		typ, ok := typeByName[fields[1]]
+		if !ok {
+			return nil, fmt.Errorf("gnl line %d: unknown cell type %q", lineNo, fields[1])
+		}
+		rn := rawNode{typ: typ, en: Invalid}
+		for _, f := range fields[2:] {
+			switch {
+			case strings.HasPrefix(f, "init="):
+				switch f {
+				case "init=1":
+					rn.init = true
+				case "init=0":
+				default:
+					return nil, fmt.Errorf("gnl line %d: bad %q", lineNo, f)
+				}
+			case strings.HasPrefix(f, "en="):
+				v, err := strconv.Atoi(f[3:])
+				if err != nil {
+					return nil, fmt.Errorf("gnl line %d: bad %q", lineNo, f)
+				}
+				rn.en = NodeID(v)
+			case strings.HasPrefix(f, `"`):
+				name, err := strconv.Unquote(f)
+				if err != nil {
+					return nil, fmt.Errorf("gnl line %d: bad name %s", lineNo, f)
+				}
+				rn.name = name
+			default:
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("gnl line %d: bad fanin %q", lineNo, f)
+				}
+				rn.fanin = append(rn.fanin, NodeID(v))
+			}
+		}
+		nodes = append(nodes, rn)
+	}
+
+	// Build with placeholder-free construction: create in order, then
+	// patch forward references (DFF data and enables may point ahead).
+	n := New(len(nodes))
+	for i, rn := range nodes {
+		switch rn.typ {
+		case Input:
+			n.AddInput(rn.name)
+		case Const0:
+			n.AddConst(false)
+		case Const1:
+			n.AddConst(true)
+		case DFF:
+			if len(rn.fanin) != 1 {
+				return nil, fmt.Errorf("gnl node %d: dff wants 1 fanin", i)
+			}
+			// Temporary self-free placeholder: use node 0 if the
+			// data net is a forward reference.
+			d := rn.fanin[0]
+			if int(d) >= i {
+				d = 0
+				if i == 0 {
+					return nil, fmt.Errorf("gnl node 0: dff cannot be the first node")
+				}
+			}
+			n.AddDFF(d, rn.name, rn.init)
+		default:
+			// Untrusted input: check arity here rather than relying
+			// on AddGate's programming-error panic.
+			if want := rn.typ.FaninCount(); want >= 0 {
+				if len(rn.fanin) != want {
+					return nil, fmt.Errorf("gnl node %d: %v wants %d fanins, got %d", i, rn.typ, want, len(rn.fanin))
+				}
+			} else if len(rn.fanin) < 2 {
+				return nil, fmt.Errorf("gnl node %d: %v wants at least 2 fanins, got %d", i, rn.typ, len(rn.fanin))
+			}
+			fi := make([]NodeID, len(rn.fanin))
+			for j, f := range rn.fanin {
+				if int(f) >= i {
+					fi[j] = 0
+					if i == 0 {
+						return nil, fmt.Errorf("gnl node 0: gate cannot be the first node")
+					}
+				} else {
+					fi[j] = f
+				}
+			}
+			id := n.AddGate(rn.typ, fi...)
+			if rn.name != "" {
+				n.SetName(id, rn.name)
+			}
+		}
+	}
+	// Patch the real fanins and enables now that every id exists.
+	for i, rn := range nodes {
+		node := n.Node(NodeID(i))
+		for j, f := range rn.fanin {
+			if int(f) < 0 || int(f) >= len(nodes) {
+				return nil, fmt.Errorf("gnl node %d: fanin %d out of range", i, f)
+			}
+			node.Fanin[j] = f
+		}
+		if rn.typ == DFF && rn.en != Invalid {
+			if int(rn.en) < 0 || int(rn.en) >= len(nodes) {
+				return nil, fmt.Errorf("gnl node %d: enable %d out of range", i, rn.en)
+			}
+			n.SetDFFEnable(NodeID(i), rn.en)
+		}
+	}
+	for _, o := range outs {
+		if int(o.node) < 0 || int(o.node) >= len(nodes) {
+			return nil, fmt.Errorf("gnl output %q: node %d out of range", o.name, o.node)
+		}
+		n.AddOutput(o.name, o.node)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("gnl: %v", err)
+	}
+	return n, nil
+}
+
+// splitFields tokenizes a line, keeping quoted strings (which may
+// contain spaces) as single fields including their quotes.
+func splitFields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			// Scan for the closing quote, honoring backslash
+			// escapes produced by %q.
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated string")
+			}
+			out = append(out, line[i:j+1])
+			i = j + 1
+			continue
+		}
+		j := strings.IndexByte(line[i:], ' ')
+		if j < 0 {
+			out = append(out, line[i:])
+			break
+		}
+		out = append(out, line[i:i+j])
+		i += j
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return out, nil
+}

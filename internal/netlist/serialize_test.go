@@ -1,0 +1,156 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, n *Netlist) *Netlist {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v\ninput:\n%s", err, buf.String())
+	}
+	return got
+}
+
+func assertEqualNetlists(t *testing.T, a, b *Netlist) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node counts %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		na, nb := a.Node(NodeID(i)), b.Node(NodeID(i))
+		if na.Type != nb.Type || na.Name != nb.Name || na.Init != nb.Init {
+			t.Fatalf("node %d header differs: %+v vs %+v", i, na, nb)
+		}
+		enA, enB := na.En, nb.En
+		if na.Type != DFF {
+			// En is meaningless for non-DFFs; Read normalizes it.
+			enA, enB = 0, 0
+		}
+		if enA != enB {
+			t.Fatalf("node %d enable differs: %v vs %v", i, na.En, nb.En)
+		}
+		if len(na.Fanin) != len(nb.Fanin) {
+			t.Fatalf("node %d fanin count", i)
+		}
+		for j := range na.Fanin {
+			if na.Fanin[j] != nb.Fanin[j] {
+				t.Fatalf("node %d fanin %d differs", i, j)
+			}
+		}
+	}
+	oa, ob := a.Outputs(), b.Outputs()
+	if len(oa) != len(ob) {
+		t.Fatalf("output counts")
+	}
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("output %d differs: %+v vs %+v", i, oa[i], ob[i])
+		}
+	}
+}
+
+func TestRoundTripToy(t *testing.T) {
+	n, _ := buildToy(t)
+	assertEqualNetlists(t, n, roundTrip(t, n))
+}
+
+func TestRoundTripWithEnablesAndForwardRefs(t *testing.T) {
+	// DFFs whose data and enable reference later nodes.
+	n := New(16)
+	in := n.AddInput("in")
+	r := n.AddDFF(in, "r", true) // patched below to a forward net
+	en := n.AddGate(Inv, in)
+	d := n.AddGate(Xor, in, r)
+	n.Node(r).Fanin[0] = d
+	n.SetDFFEnable(r, en)
+	n.AddOutput("q", r)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, n)
+	assertEqualNetlists(t, n, got)
+	if got.Node(r).En != en || !got.Node(r).Init {
+		t.Fatal("enable/init lost")
+	}
+}
+
+func TestRoundTripNamesWithSpaces(t *testing.T) {
+	n := New(4)
+	in := n.AddInput("weird name [0]")
+	g := n.AddGate(Buf, in)
+	n.SetName(g, `quoted "name"`)
+	n.AddOutput("out port", g)
+	got := roundTrip(t, n)
+	assertEqualNetlists(t, n, got)
+	if _, ok := got.FindNode(`quoted "name"`); !ok {
+		t.Fatal("escaped name not restored")
+	}
+}
+
+func TestRoundTripRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		n := randomDAG(rng, 150)
+		got := roundTrip(t, n)
+		assertEqualNetlists(t, n, got)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no header":        "0 input\n",
+		"bad type":         "gnl v1\n0 frob\n",
+		"id out of order":  "gnl v1\n1 input\n",
+		"bad fanin":        "gnl v1\n0 input\n1 inv x\n",
+		"fanin range":      "gnl v1\n0 input\n1 inv 7\n",
+		"dff arity":        "gnl v1\n0 input\n1 dff 0 0\n",
+		"bad init":         "gnl v1\n0 input\n1 dff 0 init=2\n",
+		"bad enable":       "gnl v1\n0 input\n1 dff 0 en=x\n",
+		"enable range":     "gnl v1\n0 input\n1 dff 0 en=9\n",
+		"out range":        "gnl v1\n0 input\nout \"o\" 3\n",
+		"out arity":        "gnl v1\n0 input\nout \"o\"\n",
+		"unterminated str": "gnl v1\n0 input \"oops\n",
+		"gate first":       "gnl v1\n0 inv 1\n1 input\n",
+		"comb cycle":       "gnl v1\n0 input\n1 inv 2\n2 inv 1\n",
+		"bad arity":        "gnl v1\n0 input\n1 and 0\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	text := "gnl v1\n# a comment\n\n0 input \"a\"\n\n# another\n1 inv 0\nout \"o\" 1\n"
+	n, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 2 || len(n.Outputs()) != 1 {
+		t.Fatalf("parsed %d nodes", n.NumNodes())
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	n, _ := buildToy(t)
+	var a, b bytes.Buffer
+	if err := Write(&a, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, n); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Write not deterministic")
+	}
+}

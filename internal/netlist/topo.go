@@ -1,0 +1,94 @@
+package netlist
+
+import "fmt"
+
+// TopoOrder returns the combinational nodes of the netlist in a
+// topological order: every combinational node appears after all of its
+// combinational fanins. Inputs, constants, and DFF outputs are sources
+// and are not included in the returned order (they carry values, they do
+// not compute within a cycle).
+//
+// It returns an error if the combinational subgraph contains a cycle,
+// which indicates a malformed design (a feedback loop not broken by a
+// register).
+func (n *Netlist) TopoOrder() ([]NodeID, error) {
+	indeg := make([]int32, len(n.nodes))
+	numComb := 0
+	for i, node := range n.nodes {
+		if !node.Type.IsCombinational() {
+			continue
+		}
+		numComb++
+		for _, f := range node.Fanin {
+			if n.nodes[f].Type.IsCombinational() {
+				indeg[i]++
+			}
+		}
+		_ = i
+	}
+	order := make([]NodeID, 0, numComb)
+	queue := make([]NodeID, 0, numComb)
+	for i, node := range n.nodes {
+		if node.Type.IsCombinational() && indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	fanouts := n.Fanouts()
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, id)
+		for _, succ := range fanouts[id] {
+			if !n.nodes[succ].Type.IsCombinational() {
+				continue
+			}
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				queue = append(queue, succ)
+			}
+		}
+	}
+	if len(order) != numComb {
+		return nil, fmt.Errorf("netlist: combinational cycle detected (%d of %d nodes ordered)", len(order), numComb)
+	}
+	return order, nil
+}
+
+// Levels returns, for every node, its logic depth: sources (inputs,
+// constants, DFFs) are level 0 and every combinational node is one more
+// than the maximum level of its fanins. It is used by the timed
+// simulator's default delay model and by placement.
+func (n *Netlist) Levels() ([]int, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lvl := make([]int, len(n.nodes))
+	for _, id := range order {
+		maxIn := 0
+		for _, f := range n.nodes[id].Fanin {
+			if n.nodes[f].Type.IsCombinational() {
+				if lvl[f] > maxIn {
+					maxIn = lvl[f]
+				}
+			}
+		}
+		lvl[id] = maxIn + 1
+	}
+	return lvl, nil
+}
+
+// Depth returns the maximum combinational logic depth of the netlist.
+func (n *Netlist) Depth() (int, error) {
+	lvls, err := n.Levels()
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, l := range lvls {
+		if l > max {
+			max = l
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,161 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// chainNetlist builds a long inverter chain: the strongest possible
+// locality structure (each gate connects only to its neighbor).
+func chainNetlist(n int) *netlist.Netlist {
+	nl := netlist.New(n + 1)
+	cur := nl.AddInput("in")
+	for i := 0; i < n; i++ {
+		cur = nl.AddGate(netlist.Inv, cur)
+	}
+	return nl
+}
+
+func randomNetlist(rng *rand.Rand, nGates int) *netlist.Netlist {
+	nl := netlist.New(nGates + 8)
+	for i := 0; i < 8; i++ {
+		nl.AddInput("")
+	}
+	for i := 0; i < nGates; i++ {
+		a := netlist.NodeID(rng.Intn(nl.NumNodes()))
+		b := netlist.NodeID(rng.Intn(nl.NumNodes()))
+		nl.AddGate(netlist.Nand, a, b)
+	}
+	return nl
+}
+
+func TestPlacementIsLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nl := randomNetlist(rng, 300)
+	p := Place(nl)
+	seen := map[[2]int]bool{}
+	w, h := p.Bounds()
+	for i := 0; i < nl.NumNodes(); i++ {
+		pt := p.At(netlist.NodeID(i))
+		if pt.X < 0 || pt.Y < 0 || pt.X > w || pt.Y > h {
+			t.Fatalf("node %d at %+v outside bounds (%v, %v)", i, pt, w, h)
+		}
+		key := [2]int{int(pt.X), int(pt.Y)}
+		if seen[key] {
+			t.Fatalf("two nodes share slot %v", key)
+		}
+		seen[key] = true
+		if pt.X != math.Trunc(pt.X) || pt.Y != math.Trunc(pt.Y) {
+			t.Fatalf("node %d not on grid: %+v", i, pt)
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nl := randomNetlist(rng, 200)
+	p1 := Place(nl)
+	p2 := Place(nl)
+	for i := 0; i < nl.NumNodes(); i++ {
+		if p1.At(netlist.NodeID(i)) != p2.At(netlist.NodeID(i)) {
+			t.Fatal("placement not deterministic")
+		}
+	}
+}
+
+func TestPlacementLocalityBeatsIdentity(t *testing.T) {
+	nl := chainNetlist(400)
+	p := Place(nl)
+	got := p.MeanNeighborDist()
+	// Row-major by id on a chain gives mean neighbor distance 1 only
+	// along rows but jumps at row ends; relaxed placement should keep
+	// neighbors within a couple of pitches on average.
+	if got > 3.0 {
+		t.Fatalf("mean neighbor distance %.2f too large for a chain", got)
+	}
+	// And on a random graph, it must beat the naive row-major layout.
+	rng := rand.New(rand.NewSource(3))
+	rnl := randomNetlist(rng, 400)
+	rp := Place(rnl)
+	naive := naiveMeanNeighborDist(rnl)
+	if rp.MeanNeighborDist() >= naive {
+		t.Fatalf("relaxation (%.2f) did not beat row-major (%.2f)", rp.MeanNeighborDist(), naive)
+	}
+}
+
+func naiveMeanNeighborDist(nl *netlist.Netlist) float64 {
+	n := nl.NumNodes()
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	at := func(id netlist.NodeID) (float64, float64) {
+		return float64(int(id) % cols), float64(int(id) / cols)
+	}
+	total, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		id := netlist.NodeID(i)
+		x1, y1 := at(id)
+		for _, f := range nl.Node(id).Fanin {
+			x2, y2 := at(f)
+			total += math.Hypot(x1-x2, y1-y2)
+			cnt++
+		}
+	}
+	return total / float64(cnt)
+}
+
+func TestWithinRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nl := randomNetlist(rng, 150)
+	p := Place(nl)
+	center := netlist.NodeID(20)
+	// Radius 0 includes exactly the center (slots are unique).
+	got := p.WithinRadius(center, 0)
+	if len(got) != 1 || got[0] != center {
+		t.Fatalf("radius 0: %v", got)
+	}
+	// Monotonicity: larger radius includes at least as many nodes.
+	prev := 0
+	for _, r := range []float64{1, 2, 4, 8, 1e9} {
+		in := p.WithinRadius(center, r)
+		if len(in) < prev {
+			t.Fatalf("radius %v shrank the set", r)
+		}
+		for _, id := range in {
+			if p.Dist(center, id) > r+1e-9 {
+				t.Fatalf("node %d outside radius %v", id, r)
+			}
+		}
+		prev = len(in)
+	}
+	// Huge radius covers everything.
+	if got := p.WithinRadius(center, p.Diameter()); len(got) != nl.NumNodes() {
+		t.Fatalf("diameter radius covered %d of %d", len(got), nl.NumNodes())
+	}
+}
+
+func TestCombWithinRadiusFilters(t *testing.T) {
+	nl := netlist.New(16)
+	in := nl.AddInput("in")
+	g := nl.AddGate(netlist.Inv, in)
+	nl.AddDFF(g, "r", false)
+	nl.AddConst(true)
+	p := Place(nl)
+	comb := p.CombWithinRadius(g, 1e9)
+	if len(comb) != 1 || comb[0] != g {
+		t.Fatalf("CombWithinRadius = %v, want just the INV", comb)
+	}
+}
+
+func TestSingleNodePlacement(t *testing.T) {
+	nl := netlist.New(1)
+	in := nl.AddInput("in")
+	p := Place(nl)
+	if p.At(in) != (Point{0, 0}) {
+		t.Fatalf("single node at %+v", p.At(in))
+	}
+	if p.Diameter() != 0 {
+		t.Fatal("diameter of single node should be 0")
+	}
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writes labeled numeric series as a CSV file: one column per
+// series, one row per index. Series of different lengths are padded
+// with empty cells. It backs the experiment drivers' machine-readable
+// output (e.g. convergence traces for external plotting).
+func CSV(w io.Writer, header []string, columns ...[]float64) error {
+	if len(header) != len(columns) {
+		return fmt.Errorf("report: %d headers for %d columns", len(header), len(columns))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rows := 0
+	for _, c := range columns {
+		if len(c) > rows {
+			rows = len(c)
+		}
+	}
+	rec := make([]string, len(columns))
+	for r := 0; r < rows; r++ {
+		for i, c := range columns {
+			if r < len(c) {
+				rec[i] = strconv.FormatFloat(c[r], 'g', -1, 64)
+			} else {
+				rec[i] = ""
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// KeyValueCSV writes a two-column key,value CSV for scalar result sets.
+func KeyValueCSV(w io.Writer, pairs ...interface{}) error {
+	if len(pairs)%2 != 0 {
+		return fmt.Errorf("report: odd key/value list")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "value"}); err != nil {
+		return err
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		key := fmt.Sprintf("%v", pairs[i])
+		val := fmt.Sprintf("%v", pairs[i+1])
+		if err := cw.Write([]string{key, val}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,159 @@
+// Package report renders experiment results as aligned text tables and
+// simple series/bar plots, so every table and figure of the paper can be
+// regenerated on a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...interface{}) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// FormatFloat renders a float compactly: scientific for very small or
+// large magnitudes, fixed otherwise.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.IsNaN(v):
+		return "NaN"
+	case math.Abs(v) < 1e-3 || math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Series renders a labeled numeric series as an ASCII bar chart (one
+// row per point), used for the figure-style outputs.
+type Series struct {
+	Title  string
+	labels []string
+	values []float64
+}
+
+// NewSeries creates an empty series.
+func NewSeries(title string) *Series { return &Series{Title: title} }
+
+// Point appends a labeled value.
+func (s *Series) Point(label string, v float64) *Series {
+	s.labels = append(s.labels, label)
+	s.values = append(s.values, v)
+	return s
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.values) }
+
+// Render writes the series with proportional bars.
+func (s *Series) Render(w io.Writer) {
+	if s.Title != "" {
+		fmt.Fprintf(w, "%s\n", s.Title)
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range s.values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(s.labels[i]) > maxL {
+			maxL = len(s.labels[i])
+		}
+	}
+	const barWidth = 46
+	for i, v := range s.values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * barWidth)
+		}
+		fmt.Fprintf(w, "  %s  %s %s\n", pad(s.labels[i], maxL), pad(strings.Repeat("#", n), barWidth), FormatFloat(v))
+	}
+}
+
+// String renders to a string.
+func (s *Series) String() string {
+	var sb strings.Builder
+	s.Render(&sb)
+	return sb.String()
+}
+
+// Percent formats a fraction as a percentage.
+func Percent(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }

@@ -1,0 +1,320 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/precharac"
+	"repro/internal/soc"
+)
+
+// shared fixture: characterized MPU + placement + attack.
+var (
+	fixOnce  sync.Once
+	fixChar  *precharac.Characterization
+	fixNl    *netlist.Netlist
+	fixPlace *placement.Placement
+	fixErr   error
+)
+
+func fixture(t *testing.T) (*precharac.Characterization, *netlist.Netlist, *placement.Placement) {
+	t.Helper()
+	fixOnce.Do(func() {
+		cfg := soc.DefaultConfig()
+		s, err := soc.New(cfg, soc.SyntheticProgram(cfg.DMABase, cfg.DMALimit))
+		if err != nil {
+			fixErr = err
+			return
+		}
+		opts := precharac.DefaultOptions()
+		opts.MaxDepth = 21
+		opts.TraceCycles = 512
+		opts.LifetimeCap = 60
+		opts.MemLifetimeMin = 40
+		opts.Probes = 1
+		fixChar, fixErr = precharac.Characterize(s, opts)
+		fixNl = s.MPU.Netlist
+		fixPlace = placement.Place(fixNl)
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixChar, fixNl, fixPlace
+}
+
+func fixtureAttack(t *testing.T, tRange int) *fault.Attack {
+	t.Helper()
+	_, nl, _ := fixture(t)
+	var cands []netlist.NodeID
+	for i := 0; i < nl.NumNodes(); i++ {
+		id := netlist.NodeID(i)
+		ty := nl.Node(id).Type
+		if ty.IsCombinational() && ty != netlist.Const0 && ty != netlist.Const1 {
+			cands = append(cands, id)
+		}
+	}
+	a, err := fault.NewAttack("test", tRange, fault.DefaultRadiation(), cands, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRandomSamplerWeightsAreOne(t *testing.T) {
+	a := fixtureAttack(t, 10)
+	r := &Random{Attack: a}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		s, w := r.Draw(rng)
+		if w != 1 {
+			t.Fatalf("weight %v", w)
+		}
+		if a.Density(s) == 0 {
+			t.Fatalf("random sample outside f support: %+v", s)
+		}
+	}
+	tp := r.TimingProbs()
+	if len(tp) != 10 || math.Abs(tp[0]-0.1) > 1e-12 {
+		t.Errorf("TimingProbs = %v", tp)
+	}
+}
+
+func TestConeSamplerSupport(t *testing.T) {
+	char, nl, place := fixture(t)
+	a := fixtureAttack(t, 10)
+	c, err := NewCone(a, char, nl, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		s, w := c.Draw(rng)
+		if w <= 0 {
+			t.Fatalf("non-positive weight %v", w)
+		}
+		if s.T < 0 || s.T >= 10 {
+			t.Fatalf("T out of range: %d", s.T)
+		}
+		// Center must be in the layer for the drawn t.
+		found := false
+		for _, g := range c.layers[s.T] {
+			if g == s.Center {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("center %d not in layer %d", s.Center, s.T)
+		}
+	}
+	probs := c.TimingProbs()
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("timing probs sum %v", sum)
+	}
+}
+
+func TestConeRejectsExcessiveTRange(t *testing.T) {
+	char, nl, place := fixture(t)
+	a := fixtureAttack(t, 1000)
+	if _, err := NewCone(a, char, nl, place); err == nil {
+		t.Error("TRange beyond characterized depth accepted")
+	}
+}
+
+func TestImportanceConstruction(t *testing.T) {
+	char, nl, place := fixture(t)
+	a := fixtureAttack(t, 10)
+	if _, err := NewImportance(a, char, nl, place, -1, 1); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := NewImportance(a, char, nl, place, 1, -1); err == nil {
+		t.Error("negative beta accepted")
+	}
+	im, err := NewImportance(a, char, nl, place, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := im.TimingProbs()
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("g_T sums to %v", sum)
+	}
+	// g_T must concentrate on small timing distances relative to
+	// uniform (the decision logic correlates there).
+	if probs[0] <= 1.0/10 {
+		t.Errorf("g_T(0) = %v, expected above uniform 0.1", probs[0])
+	}
+}
+
+func TestImportanceCenterProbConsistency(t *testing.T) {
+	char, nl, place := fixture(t)
+	a := fixtureAttack(t, 8)
+	im, err := NewImportance(a, char, nl, place, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 8; tt++ {
+		sum := 0.0
+		for _, g := range im.layers[tt] {
+			p := im.CenterProb(tt, g)
+			if p < 0 {
+				t.Fatalf("negative center prob")
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("g_P|T(t=%d) sums to %v", tt, sum)
+		}
+	}
+	if im.CenterProb(-1, 0) != 0 || im.CenterProb(100, 0) != 0 {
+		t.Error("out-of-range CenterProb should be 0")
+	}
+}
+
+func TestImportanceWeightsBounded(t *testing.T) {
+	char, nl, place := fixture(t)
+	a := fixtureAttack(t, 10)
+	im, err := NewImportance(a, char, nl, place, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1/im.MixUniform + 1e-9
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		_, w := im.Draw(rng)
+		if w <= 0 || w > bound {
+			t.Fatalf("weight %v outside (0, %v]", w, bound)
+		}
+	}
+}
+
+// TestImportanceUnbiased verifies the estimator identity
+// E_g[(f/g)·h(X)] = E_f[h(X)] on a simple h.
+func TestImportanceUnbiased(t *testing.T) {
+	char, nl, place := fixture(t)
+	a := fixtureAttack(t, 10)
+	im, err := NewImportance(a, char, nl, place, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	const n = 400000
+	est := 0.0
+	for i := 0; i < n; i++ {
+		s, w := im.Draw(rng)
+		if s.T < 3 {
+			est += w
+		}
+	}
+	est /= n
+	want := 3.0 / 10
+	if math.Abs(est-want) > 0.01 {
+		t.Errorf("importance estimate of P(T<3) = %v, want %v", est, want)
+	}
+}
+
+func TestImportanceUnbiasedOnCenters(t *testing.T) {
+	char, nl, place := fixture(t)
+	a := fixtureAttack(t, 6)
+	im, err := NewImportance(a, char, nl, place, DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h = indicator that the center id is even: under f exactly the
+	// fraction of even candidates.
+	even := 0
+	for _, g := range a.Candidates {
+		if g%2 == 0 {
+			even++
+		}
+	}
+	want := float64(even) / float64(len(a.Candidates))
+	rng := rand.New(rand.NewSource(5))
+	const n = 400000
+	est := 0.0
+	for i := 0; i < n; i++ {
+		s, w := im.Draw(rng)
+		if s.Center%2 == 0 {
+			est += w
+		}
+	}
+	est /= n
+	if math.Abs(est-want) > 0.02 {
+		t.Errorf("importance estimate %v, want %v", est, want)
+	}
+}
+
+func TestLayersRespectCandidateSubset(t *testing.T) {
+	char, nl, place := fixture(t)
+	full := fixtureAttack(t, 6)
+	// Restrict candidates to half the gates; layers must not contain
+	// the excluded ones.
+	half := full.Candidates[:len(full.Candidates)/2]
+	a, err := fault.NewAttack("half", 6, fault.DefaultRadiation(), half, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, err := candidateLayers(a, char, nl, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[netlist.NodeID]bool{}
+	for _, g := range half {
+		allowed[g] = true
+	}
+	for tt, layer := range layers {
+		for _, g := range layer {
+			if !allowed[g] {
+				t.Fatalf("layer %d contains non-candidate %d", tt, g)
+			}
+		}
+	}
+}
+
+func TestImportanceBetaSweepConstructs(t *testing.T) {
+	char, nl, place := fixture(t)
+	a := fixtureAttack(t, 10)
+	for _, beta := range []float64{0, 0.5, 1, 5, 100} {
+		im, err := NewImportance(a, char, nl, place, DefaultAlpha, beta)
+		if err != nil {
+			t.Fatalf("beta=%v: %v", beta, err)
+		}
+		sum := 0.0
+		for _, p := range im.TimingProbs() {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("beta=%v: g_T sums to %v", beta, sum)
+		}
+	}
+}
+
+func TestImportanceAlphaZeroStillValid(t *testing.T) {
+	// With alpha=0 the distribution degenerates to uniform over the
+	// (dilated) cone layers — weights must stay well-formed.
+	char, nl, place := fixture(t)
+	a := fixtureAttack(t, 10)
+	im, err := NewImportance(a, char, nl, place, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		_, w := im.Draw(rng)
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("weight %v", w)
+		}
+	}
+}

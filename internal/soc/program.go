@@ -1,0 +1,233 @@
+package soc
+
+import "fmt"
+
+// Op enumerates the behavioural CPU's instruction set. The core is a
+// workload generator, not a victim, so the ISA is deliberately small:
+// enough to configure the MPU, run loops of legitimate memory traffic,
+// and attempt the marked illegal access the attack targets.
+type Op int
+
+// Instruction opcodes.
+const (
+	OpNop  Op = iota
+	OpLdi     // rA <- Imm
+	OpMov     // rA <- rB
+	OpAdd     // rA <- rA + rB
+	OpSub     // rA <- rA - rB
+	OpAnd     // rA <- rA & rB
+	OpOr      // rA <- rA | rB
+	OpXor     // rA <- rA ^ rB
+	OpLd      // rA <- mem[rB]   (via MPU)
+	OpSt      // mem[rB] <- rA   (via MPU)
+	OpCfgw    // MPU config word Imm <- rA (privileged)
+	OpDrop    // drop to user mode
+	OpBeq     // if rA == rB jump to Imm
+	OpBne     // if rA != rB jump to Imm
+	OpJmp     // jump to Imm
+	OpHalt    // stop the core
+)
+
+var opNames = map[Op]string{
+	OpNop: "NOP", OpLdi: "LDI", OpMov: "MOV", OpAdd: "ADD", OpSub: "SUB",
+	OpAnd: "AND", OpOr: "OR", OpXor: "XOR", OpLd: "LD", OpSt: "ST",
+	OpCfgw: "CFGW", OpDrop: "DROP", OpBeq: "BEQ", OpBne: "BNE",
+	OpJmp: "JMP", OpHalt: "HALT",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Instr is one decoded instruction. Marked tags the security-relevant
+// access the attack wants to slip past the MPU (the paper's "malicious
+// operation" at target cycle Tt).
+type Instr struct {
+	Op     Op
+	A, B   int
+	Imm    uint16
+	Marked bool
+}
+
+// AccessRange describes a span of user-mode accesses the benchmark
+// performs before the marked access. The analytical evaluator uses it to
+// check that a faulted MPU configuration does not break the legitimate
+// traffic (which would trap and halt the benchmark before the attack).
+type AccessRange struct {
+	Lo, Hi uint16
+	Write  bool
+}
+
+// Program is an assembled instruction sequence plus the metadata the
+// evaluation needs: where traps land and what the marked access is.
+type Program struct {
+	Name        string
+	Instrs      []Instr
+	TrapHandler int
+	// IllegalAddr / IllegalWrite describe the marked access; the
+	// analytical evaluator reasons about it closed-form.
+	IllegalAddr  uint16
+	IllegalWrite bool
+	// PreAttack lists the user-mode traffic issued before the marked
+	// access.
+	PreAttack []AccessRange
+}
+
+// Asm incrementally assembles a Program with label support.
+type Asm struct {
+	prog   Program
+	labels map[string]int
+	fixups []fixup
+	sealed bool
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewAsm starts a program.
+func NewAsm(name string) *Asm {
+	return &Asm{prog: Program{Name: name, TrapHandler: -1}, labels: make(map[string]int)}
+}
+
+func (a *Asm) emit(i Instr) *Asm {
+	if a.sealed {
+		panic("soc: emit after Build")
+	}
+	a.prog.Instrs = append(a.prog.Instrs, i)
+	return a
+}
+
+// Label binds a name to the next instruction's address.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("soc: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.prog.Instrs)
+	return a
+}
+
+func (a *Asm) branch(op Op, rA, rB int, label string) *Asm {
+	a.fixups = append(a.fixups, fixup{len(a.prog.Instrs), label})
+	return a.emit(Instr{Op: op, A: rA, B: rB})
+}
+
+// Nop emits a NOP.
+func (a *Asm) Nop() *Asm { return a.emit(Instr{Op: OpNop}) }
+
+// Ldi emits rA <- imm.
+func (a *Asm) Ldi(rA int, imm uint16) *Asm { return a.emit(Instr{Op: OpLdi, A: rA, Imm: imm}) }
+
+// Mov emits rA <- rB.
+func (a *Asm) Mov(rA, rB int) *Asm { return a.emit(Instr{Op: OpMov, A: rA, B: rB}) }
+
+// Add emits rA <- rA + rB.
+func (a *Asm) Add(rA, rB int) *Asm { return a.emit(Instr{Op: OpAdd, A: rA, B: rB}) }
+
+// Sub emits rA <- rA - rB.
+func (a *Asm) Sub(rA, rB int) *Asm { return a.emit(Instr{Op: OpSub, A: rA, B: rB}) }
+
+// And emits rA <- rA & rB.
+func (a *Asm) And(rA, rB int) *Asm { return a.emit(Instr{Op: OpAnd, A: rA, B: rB}) }
+
+// Or emits rA <- rA | rB.
+func (a *Asm) Or(rA, rB int) *Asm { return a.emit(Instr{Op: OpOr, A: rA, B: rB}) }
+
+// Xor emits rA <- rA ^ rB.
+func (a *Asm) Xor(rA, rB int) *Asm { return a.emit(Instr{Op: OpXor, A: rA, B: rB}) }
+
+// Ld emits rA <- mem[rB].
+func (a *Asm) Ld(rA, rB int) *Asm { return a.emit(Instr{Op: OpLd, A: rA, B: rB}) }
+
+// St emits mem[rB] <- rA.
+func (a *Asm) St(rA, rB int) *Asm { return a.emit(Instr{Op: OpSt, A: rA, B: rB}) }
+
+// LdMarked emits the marked illegal load the attack targets.
+func (a *Asm) LdMarked(rA, rB int) *Asm {
+	return a.emit(Instr{Op: OpLd, A: rA, B: rB, Marked: true})
+}
+
+// StMarked emits the marked illegal store the attack targets.
+func (a *Asm) StMarked(rA, rB int) *Asm {
+	return a.emit(Instr{Op: OpSt, A: rA, B: rB, Marked: true})
+}
+
+// Cfgw emits an MPU config write: word idx <- rA.
+func (a *Asm) Cfgw(idx int, rA int) *Asm {
+	return a.emit(Instr{Op: OpCfgw, A: rA, Imm: uint16(idx)})
+}
+
+// Drop emits the privilege drop.
+func (a *Asm) Drop() *Asm { return a.emit(Instr{Op: OpDrop}) }
+
+// Beq emits a branch to label when rA == rB.
+func (a *Asm) Beq(rA, rB int, label string) *Asm { return a.branch(OpBeq, rA, rB, label) }
+
+// Bne emits a branch to label when rA != rB.
+func (a *Asm) Bne(rA, rB int, label string) *Asm { return a.branch(OpBne, rA, rB, label) }
+
+// Jmp emits an unconditional jump to label.
+func (a *Asm) Jmp(label string) *Asm { return a.branch(OpJmp, 0, 0, label) }
+
+// Halt emits HALT.
+func (a *Asm) Halt() *Asm { return a.emit(Instr{Op: OpHalt}) }
+
+// TrapHandler declares that the trap vector is the label's address.
+func (a *Asm) TrapHandler(label string) *Asm {
+	a.fixups = append(a.fixups, fixup{-1, label})
+	return a
+}
+
+// Illegal records the marked access metadata for the analytical
+// evaluator.
+func (a *Asm) Illegal(addr uint16, write bool) *Asm {
+	a.prog.IllegalAddr = addr
+	a.prog.IllegalWrite = write
+	return a
+}
+
+// PreAttack records a user-mode access range the benchmark exercises
+// before the marked access.
+func (a *Asm) PreAttack(lo, hi uint16, write bool) *Asm {
+	a.prog.PreAttack = append(a.prog.PreAttack, AccessRange{Lo: lo, Hi: hi, Write: write})
+	return a
+}
+
+// Build resolves labels and returns the program.
+func (a *Asm) Build() (*Program, error) {
+	if a.sealed {
+		return nil, fmt.Errorf("soc: program %q already built", a.prog.Name)
+	}
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("soc: undefined label %q in %q", f.label, a.prog.Name)
+		}
+		if f.instr < 0 {
+			a.prog.TrapHandler = target
+		} else {
+			a.prog.Instrs[f.instr].Imm = uint16(target)
+		}
+	}
+	if a.prog.TrapHandler < 0 {
+		return nil, fmt.Errorf("soc: program %q has no trap handler", a.prog.Name)
+	}
+	a.sealed = true
+	p := a.prog
+	return &p, nil
+}
+
+// MustBuild is Build that panics on error; benchmark programs are
+// compile-time constants, so failures are programming errors.
+func (a *Asm) MustBuild() *Program {
+	p, err := a.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

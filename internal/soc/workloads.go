@@ -1,0 +1,174 @@
+package soc
+
+// Benchmark programs. The memory map shared by all of them:
+//
+//	region 0: 0x100..0x1FF  user data, user RW
+//	region 1: 0x200..0x2FF  secrets, privileged only
+//	region 2: 0x300..0x33F  DMA buffer, user read-only
+//	region 3: disabled
+//
+// Every benchmark starts privileged, configures the MPU, seeds the
+// secret region, drops privilege, runs legitimate traffic, and (for the
+// attack benchmarks) issues one marked illegal access into region 1 —
+// the paper's "malicious operation" whose MPU decision cycle is the
+// target cycle Tt.
+
+// Memory-map constants.
+const (
+	UserBase    = 0x100
+	UserLimit   = 0x1FF
+	SecretBase  = 0x200
+	SecretLimit = 0x2FF
+	// SecretAddr is the word the marked access targets.
+	SecretAddr = 0x210
+	// SecretValue is seeded at SecretAddr while privileged.
+	SecretValue = 0x5EC1
+	// AttackValue is what the illegal write tries to plant.
+	AttackValue = 0xA77A
+)
+
+// emitSetup writes the common MPU configuration and seeds the secret,
+// using r0 as scratch and r1 as address register.
+func emitSetup(a *Asm, dmaBase, dmaLimit uint16) {
+	type cfgWrite struct {
+		word int
+		val  uint16
+	}
+	b0, l0, p0 := RegionCfgWords(0)
+	b1, l1, p1 := RegionCfgWords(1)
+	b2, l2, p2 := RegionCfgWords(2)
+	cfg := []cfgWrite{
+		{b0, UserBase}, {l0, UserLimit}, {p0, PermEnable | PermUserRead | PermUserWrite},
+		{b1, SecretBase}, {l1, SecretLimit}, {p1, PermEnable},
+		{b2, dmaBase}, {l2, dmaLimit}, {p2, PermEnable | PermUserRead},
+	}
+	for _, c := range cfg {
+		a.Ldi(0, c.val)
+		a.Cfgw(c.word, 0)
+	}
+	// Seed the secret while still privileged.
+	a.Ldi(0, SecretValue)
+	a.Ldi(1, SecretAddr)
+	a.St(0, 1)
+}
+
+// emitWorkLoop emits `iters` rounds of legitimate user traffic in the
+// user region: a store, a pointer bump, and a read-back. Uses r2 as the
+// walking address, r3 as the countdown, r4/r5 as data, r6 as constant 1,
+// r7 as zero.
+func emitWorkLoop(a *Asm, iters uint16) {
+	a.Ldi(2, UserBase)
+	a.Ldi(3, iters)
+	a.Ldi(4, 0x1111)
+	a.Ldi(6, 1)
+	a.Ldi(7, 0)
+	a.Label("work")
+	a.St(4, 2)
+	a.Ld(5, 2)
+	a.Add(4, 5)
+	a.Add(2, 6)
+	a.Sub(3, 6)
+	a.Bne(3, 7, "work")
+}
+
+// IllegalWriteProgram builds the paper's primary benchmark: after
+// workIters rounds of legitimate traffic, the (user-mode) core attempts
+// to overwrite the secret word. Without a fault, the MPU traps it.
+func IllegalWriteProgram(workIters uint16, dmaBase, dmaLimit uint16) *Program {
+	a := NewAsm("illegal-write")
+	emitSetup(a, dmaBase, dmaLimit)
+	a.Drop()
+	emitWorkLoop(a, workIters)
+	// The attack: plant AttackValue at SecretAddr.
+	a.Ldi(4, AttackValue)
+	a.Ldi(5, SecretAddr)
+	a.StMarked(4, 5)
+	// Post-attack tail: more legitimate traffic, then halt. Only a
+	// bypassed MPU lets the core get here with the write committed.
+	a.Ldi(2, UserBase+8)
+	a.St(4, 2)
+	a.Halt()
+	a.Label("trap")
+	a.Halt()
+	a.TrapHandler("trap")
+	a.Illegal(SecretAddr, true)
+	a.PreAttack(UserBase, UserBase+workIters-1, true)
+	a.PreAttack(UserBase, UserBase+workIters-1, false)
+	return a.MustBuild()
+}
+
+// IllegalReadProgram is the companion benchmark: the marked access is a
+// load of the secret word (information leakage instead of tampering).
+func IllegalReadProgram(workIters uint16, dmaBase, dmaLimit uint16) *Program {
+	a := NewAsm("illegal-read")
+	emitSetup(a, dmaBase, dmaLimit)
+	a.Drop()
+	emitWorkLoop(a, workIters)
+	a.Ldi(4, 0)
+	a.Ldi(5, SecretAddr)
+	a.LdMarked(4, 5)
+	// Exfiltrate: copy the stolen word into the user region.
+	a.Ldi(2, UserBase+9)
+	a.St(4, 2)
+	a.Halt()
+	a.Label("trap")
+	a.Halt()
+	a.TrapHandler("trap")
+	a.Illegal(SecretAddr, false)
+	a.PreAttack(UserBase, UserBase+workIters-1, true)
+	a.PreAttack(UserBase, UserBase+workIters-1, false)
+	return a.MustBuild()
+}
+
+// SyntheticProgram generates the pre-characterization workload: an
+// endless mix of legal stores, legal loads, boundary probes that do
+// violate (its trap handler resumes instead of halting, so the
+// violation machinery toggles repeatedly). The run length is bounded by
+// the caller via SoC.Run.
+func SyntheticProgram(dmaBase, dmaLimit uint16) *Program {
+	a := NewAsm("synthetic")
+	emitSetup(a, dmaBase, dmaLimit)
+	a.Drop()
+	a.Ldi(2, UserBase)
+	a.Ldi(4, 0xC0DE)
+	a.Ldi(6, 1)
+	a.Ldi(7, 0)
+	a.Ldi(3, 0) // loop counter
+	a.Label("loop")
+	a.St(4, 2)
+	a.Ld(5, 2)
+	// r4 accumulates the walking address: a data pattern whose low
+	// bits evolve irregularly (partial sums of consecutive integers).
+	a.Add(4, 2)
+	a.Add(2, 6)
+	// Wrap the walking pointer within the user region.
+	a.Ldi(0, UserLimit)
+	a.Bne(2, 0, "noWrap")
+	a.Ldi(2, UserBase)
+	a.Label("noWrap")
+	a.Add(3, 6)
+	// Probe the protected region on data-dependent (irregular)
+	// iterations — the violation machinery must toggle often enough
+	// for the switching signatures to expose which gates correlate
+	// with the responding signals, and irregular spacing avoids
+	// periodic echo artifacts in the correlation-vs-lag profile.
+	// r4 accumulates a data-dependent pattern; probe when its low
+	// three bits are 0b101 (~1 in 8 iterations, aperiodically).
+	a.Ldi(0, 7)
+	a.And(0, 4)
+	a.Ldi(1, 5)
+	a.Bne(0, 1, "loop")
+	a.Ldi(1, SecretBase)
+	a.Ld(0, 1)
+	a.Jmp("loop")
+	// The trap handler runs privileged (exception entry escalates):
+	// it acknowledges the violation, clearing the sticky FSM, then
+	// returns to user mode — so the violation machinery keeps
+	// toggling instead of saturating.
+	a.Label("trap")
+	a.Cfgw(CfgClearViol, 0)
+	a.Drop()
+	a.Jmp("loop")
+	a.TrapHandler("trap")
+	return a.MustBuild()
+}

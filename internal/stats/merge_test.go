@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var all, a, b Welford
+	for i := 0; i < 700; i++ {
+		x := rng.NormFloat64()*2 + 1
+		all.Add(x)
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+		t.Errorf("mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Errorf("variance %v vs %v", a.Variance(), all.Variance())
+	}
+}
+
+func TestWelfordMergeEdges(t *testing.T) {
+	var a, b Welford
+	a.Merge(b) // empty + empty
+	if a.N() != 0 {
+		t.Fatal("empty merge")
+	}
+	b.Add(5)
+	b.Add(7)
+	a.Merge(b) // empty + filled
+	if a.N() != 2 || a.Mean() != 6 {
+		t.Fatalf("merge into empty: %v", a.Mean())
+	}
+	var c Welford
+	a.Merge(c) // filled + empty
+	if a.N() != 2 || a.Mean() != 6 {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestWeightedMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var all, a, b Weighted
+	for i := 0; i < 500; i++ {
+		x := 0.0
+		if rng.Float64() < 0.1 {
+			x = 1
+		}
+		w := 0.5 + rng.Float64()
+		all.Add(x, w)
+		if i < 200 {
+			a.Add(x, w)
+		} else {
+			b.Add(x, w)
+		}
+	}
+	a.Merge(b)
+	if math.Abs(a.Estimate()-all.Estimate()) > 1e-12 {
+		t.Errorf("estimate %v vs %v", a.Estimate(), all.Estimate())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Errorf("variance %v vs %v", a.Variance(), all.Variance())
+	}
+	if a.LLNBound(0.01) != all.LLNBound(0.01) {
+		t.Error("LLN bound differs after merge")
+	}
+}

@@ -1,0 +1,265 @@
+// Package stats holds the small statistical toolkit the Monte Carlo
+// framework relies on: streaming mean/variance (Welford), weighted
+// estimators for importance sampling, histograms, and the weak
+// law-of-large-numbers convergence bound the paper quotes.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming mean and (unbiased) sample variance.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// LLNBound returns the weak-LLN (Chebyshev) bound the paper quotes:
+// Pr[|mean_N - E| >= eps] <= sigma^2 / (N * eps^2), evaluated with the
+// current sample variance. Values above 1 are clamped to 1.
+func (w *Welford) LLNBound(eps float64) float64 {
+	if w.n == 0 || eps <= 0 {
+		return 1
+	}
+	b := w.Variance() / (float64(w.n) * eps * eps)
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// SamplesForRisk returns the number of samples the LLN bound requires to
+// push the risk of an eps-deviation below delta, given the current
+// variance estimate.
+func (w *Welford) SamplesForRisk(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 {
+		return math.MaxInt32
+	}
+	return int(math.Ceil(w.Variance() / (delta * eps * eps)))
+}
+
+// Merge folds another accumulator into this one, as if every
+// observation of o had been Added here (Chan et al. parallel variance).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	d := o.mean - w.mean
+	total := n1 + n2
+	w.m2 += o.m2 + d*d*n1*n2/total
+	w.mean += d * n2 / total
+	w.n += o.n
+}
+
+// Weighted accumulates an importance-sampling estimator: each
+// observation x_i carries a likelihood ratio weight w_i = f(x_i)/g(x_i),
+// and the estimate is (1/N) * sum(w_i * x_i). Mean and variance are those
+// of the weighted terms, which is what governs convergence.
+type Weighted struct {
+	inner Welford
+}
+
+// Add incorporates an observation with its likelihood-ratio weight.
+func (e *Weighted) Add(x, weight float64) { e.inner.Add(x * weight) }
+
+// N returns the number of observations.
+func (e *Weighted) N() int { return e.inner.N() }
+
+// Estimate returns the current importance-sampling estimate.
+func (e *Weighted) Estimate() float64 { return e.inner.Mean() }
+
+// Variance returns the sample variance of the weighted terms.
+func (e *Weighted) Variance() float64 { return e.inner.Variance() }
+
+// StdErr returns the standard error of the estimate.
+func (e *Weighted) StdErr() float64 { return e.inner.StdErr() }
+
+// LLNBound exposes the Chebyshev convergence bound of the weighted
+// estimator (the paper's Section 3.3 criterion).
+func (e *Weighted) LLNBound(eps float64) float64 { return e.inner.LLNBound(eps) }
+
+// Merge folds another weighted estimator into this one.
+func (e *Weighted) Merge(o Weighted) { e.inner.Merge(o.inner) }
+
+// Histogram counts observations in fixed-width bins over [min, max);
+// values outside the range are clamped into the first/last bin so the
+// total count always matches the number of observations.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with the given number of bins.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins < 1 || max <= min {
+		panic(fmt.Sprintf("stats: bad histogram [%v, %v) x%d", min, max, bins))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	bin := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(h.Counts) {
+		bin = len(h.Counts) - 1
+	}
+	h.Counts[bin]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of observations in the given bin.
+func (h *Histogram) Fraction(bin int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[bin]) / float64(h.total)
+}
+
+// BinCenter returns the center value of a bin.
+func (h *Histogram) BinCenter(bin int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(bin)+0.5)*w
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the given sample,
+// using linear interpolation. The input slice is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of the sample (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Discrete is a normalized discrete distribution over indices 0..n-1
+// supporting O(log n) sampling via the cumulative table. It backs both
+// g_T (timing distance) and g_{P|T} (center gate) sampling.
+type Discrete struct {
+	probs []float64
+	cum   []float64
+}
+
+// NewDiscrete builds a distribution from non-negative weights; they are
+// normalized internally. It returns an error when every weight is zero.
+func NewDiscrete(weights []float64) (*Discrete, error) {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("stats: weight %d is %v", i, w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("stats: all %d weights are zero", len(weights))
+	}
+	d := &Discrete{
+		probs: make([]float64, len(weights)),
+		cum:   make([]float64, len(weights)),
+	}
+	run := 0.0
+	for i, w := range weights {
+		d.probs[i] = w / total
+		run += d.probs[i]
+		d.cum[i] = run
+	}
+	d.cum[len(d.cum)-1] = 1 // guard against rounding
+	return d, nil
+}
+
+// Prob returns the probability mass at index i.
+func (d *Discrete) Prob(i int) float64 { return d.probs[i] }
+
+// Len returns the support size.
+func (d *Discrete) Len() int { return len(d.probs) }
+
+// Sample draws an index using the caller-supplied uniform variate
+// u in [0, 1).
+func (d *Discrete) Sample(u float64) int {
+	i := sort.SearchFloat64s(d.cum, u)
+	if i >= len(d.cum) {
+		i = len(d.cum) - 1
+	}
+	// SearchFloat64s returns the first index with cum >= u only when
+	// cum[i] == u exactly; for cum[i] > u it returns the insertion
+	// point, which is the bin we want. Skip zero-probability bins that
+	// can alias at the same cumulative value.
+	for i < len(d.probs)-1 && d.probs[i] == 0 {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,295 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	mean := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	variance := ss / float64(len(xs)-1)
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Errorf("mean %v vs %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-9 {
+		t.Errorf("variance %v vs %v", w.Variance(), variance)
+	}
+	if w.N() != 500 {
+		t.Errorf("N = %d", w.N())
+	}
+	wantSE := math.Sqrt(variance / 500)
+	if math.Abs(w.StdErr()-wantSE) > 1e-12 {
+		t.Errorf("stderr %v vs %v", w.StdErr(), wantSE)
+	}
+}
+
+func TestWelfordEdgeCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Error("empty accumulator should be zero")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Error("single observation")
+	}
+}
+
+func TestWelfordIndicatorVariance(t *testing.T) {
+	// For a Bernoulli(p) indicator the sample variance approaches
+	// p(1-p); this is exactly the SSF estimator's variance under
+	// random sampling.
+	var w Welford
+	n, succ := 10000, 0
+	rng := rand.New(rand.NewSource(2))
+	p := 0.03
+	for i := 0; i < n; i++ {
+		x := 0.0
+		if rng.Float64() < p {
+			x = 1.0
+			succ++
+		}
+		w.Add(x)
+	}
+	phat := float64(succ) / float64(n)
+	want := phat * (1 - phat) * float64(n) / float64(n-1)
+	if math.Abs(w.Variance()-want) > 1e-9 {
+		t.Errorf("variance %v, want %v", w.Variance(), want)
+	}
+}
+
+func TestLLNBound(t *testing.T) {
+	var w Welford
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i % 2))
+	}
+	b := w.LLNBound(0.1)
+	want := w.Variance() / (100 * 0.01)
+	if math.Abs(b-want) > 1e-12 {
+		t.Errorf("bound %v, want %v", b, want)
+	}
+	if w.LLNBound(0) != 1 {
+		t.Error("eps=0 should clamp to 1")
+	}
+	var empty Welford
+	if empty.LLNBound(0.1) != 1 {
+		t.Error("empty should clamp to 1")
+	}
+	// More samples tighten the bound.
+	var w2 Welford
+	for i := 0; i < 10000; i++ {
+		w2.Add(float64(i % 2))
+	}
+	if w2.LLNBound(0.1) >= b {
+		t.Error("bound should tighten with N")
+	}
+}
+
+func TestSamplesForRisk(t *testing.T) {
+	var w Welford
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i % 2))
+	}
+	n := w.SamplesForRisk(0.01, 0.05)
+	want := int(math.Ceil(w.Variance() / (0.05 * 0.0001)))
+	if n != want {
+		t.Errorf("SamplesForRisk = %d, want %d", n, want)
+	}
+	if w.SamplesForRisk(0, 0.05) != math.MaxInt32 {
+		t.Error("eps=0 should saturate")
+	}
+}
+
+func TestWeightedUnbiased(t *testing.T) {
+	// Estimate E_f[X] where f is uniform over {0..9} and X = 1{i < 2}
+	// (true value 0.2), sampling from a biased g that favors small i.
+	// The weighted estimator must still converge to 0.2.
+	gw := []float64{5, 5, 1, 1, 1, 1, 1, 1, 1, 1}
+	g, err := NewDiscrete(gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := 1.0 / 10.0
+	rng := rand.New(rand.NewSource(3))
+	var est Weighted
+	for i := 0; i < 200000; i++ {
+		idx := g.Sample(rng.Float64())
+		x := 0.0
+		if idx < 2 {
+			x = 1.0
+		}
+		est.Add(x, f/g.Prob(idx))
+	}
+	if math.Abs(est.Estimate()-0.2) > 0.01 {
+		t.Errorf("weighted estimate %v, want 0.2", est.Estimate())
+	}
+	if est.N() != 200000 {
+		t.Error("N wrong")
+	}
+}
+
+func TestWeightedVarianceReduction(t *testing.T) {
+	// Rare event: X = 1{i == 0} under uniform f over 1000 outcomes.
+	// Importance sampling that concentrates on i == 0 must cut the
+	// sample variance by orders of magnitude — the paper's Fig 9
+	// mechanism in miniature.
+	n := 1000
+	fProb := 1.0 / float64(n)
+	gwBias := make([]float64, n)
+	for i := range gwBias {
+		gwBias[i] = 0.001
+	}
+	gwBias[0] = 1.0
+	g, _ := NewDiscrete(gwBias)
+	rng := rand.New(rand.NewSource(4))
+	var rnd, imp Weighted
+	for i := 0; i < 20000; i++ {
+		// Random sampling (g = f).
+		idx := rng.Intn(n)
+		x := 0.0
+		if idx == 0 {
+			x = 1.0
+		}
+		rnd.Add(x, 1.0)
+		// Importance sampling.
+		idx = g.Sample(rng.Float64())
+		x = 0.0
+		if idx == 0 {
+			x = 1.0
+		}
+		imp.Add(x, fProb/g.Prob(idx))
+	}
+	if math.Abs(imp.Estimate()-fProb) > fProb*0.2 {
+		t.Errorf("importance estimate %v, want ~%v", imp.Estimate(), fProb)
+	}
+	if imp.Variance() >= rnd.Variance()/10 {
+		t.Errorf("no variance reduction: imp %v vs rnd %v", imp.Variance(), rnd.Variance())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	// -3 clamps into bin 0, 42 into bin 4.
+	if h.Counts[0] != 3 { // 0, 1.9, -3
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.9, 42
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if math.Abs(h.Fraction(0)-3.0/7.0) > 1e-12 {
+		t.Error("fraction wrong")
+	}
+	if h.BinCenter(0) != 1 || h.BinCenter(4) != 9 {
+		t.Error("bin centers wrong")
+	}
+}
+
+func TestHistogramPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Error("extremes wrong")
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestDiscreteNormalization(t *testing.T) {
+	d, err := NewDiscrete([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Prob(0)-0.25) > 1e-12 || math.Abs(d.Prob(1)-0.75) > 1e-12 {
+		t.Errorf("probs = %v %v", d.Prob(0), d.Prob(1))
+	}
+	if d.Len() != 2 {
+		t.Error("Len wrong")
+	}
+}
+
+func TestDiscreteRejectsDegenerate(t *testing.T) {
+	if _, err := NewDiscrete([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewDiscrete([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewDiscrete([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestDiscreteSampleFrequencies(t *testing.T) {
+	d, _ := NewDiscrete([]float64{1, 0, 2, 7})
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng.Float64())]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight bin sampled %d times", counts[1])
+	}
+	for i, want := range []float64{0.1, 0, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("bin %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDiscreteSampleBounds(t *testing.T) {
+	f := func(u float64) bool {
+		u = math.Abs(u)
+		u -= math.Floor(u) // wrap into [0,1)
+		d, _ := NewDiscrete([]float64{1, 2, 3})
+		i := d.Sample(u)
+		return i >= 0 && i < 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean wrong")
+	}
+}

@@ -1,0 +1,90 @@
+package timingsim
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// GlitchCapture models a clock-glitch injection: for one cycle the
+// capture edge arrives at glitchTime instead of ClockPeriod, so
+// registers whose data has not settled capture the previous cycle's
+// value. prev and cur give every node's fault-free value in the
+// previous and in the glitched cycle; the returned registers latch
+// stale data (their captured value differs from the fault-free one).
+//
+// Arrival times use the single-transition timing model: a net that
+// changes between the two cycles transitions once, at its longest-path
+// delay from the changed sources (registers and primary inputs switch
+// at the cycle boundary). Short-path hazards and multiple transitions
+// are not modeled. Clock-gated registers whose enable is low do not
+// capture at all and therefore cannot be glitched.
+func (s *Simulator) GlitchCapture(prev, cur func(netlist.NodeID) bool, glitchTime float64) []netlist.NodeID {
+	const unchanged = -1.0
+	arrival := make([]float64, s.nl.NumNodes())
+	// Sources: registers and inputs switch at time 0 when they differ
+	// between cycles.
+	for i := 0; i < s.nl.NumNodes(); i++ {
+		id := netlist.NodeID(i)
+		if s.nl.Node(id).Type.IsCombinational() {
+			continue
+		}
+		if prev(id) != cur(id) {
+			arrival[i] = 0
+		} else {
+			arrival[i] = unchanged
+		}
+	}
+	for _, id := range s.order {
+		node := s.nl.Node(id)
+		if prev(id) == cur(id) {
+			arrival[id] = unchanged
+			continue
+		}
+		latest := 0.0
+		for _, f := range node.Fanin {
+			if a := arrival[f]; a != unchanged && a > latest {
+				latest = a
+			}
+		}
+		arrival[id] = latest + s.Delay(id)
+	}
+
+	deadline := glitchTime - s.dm.Setup
+	var flipped []netlist.NodeID
+	for _, r := range s.nl.Regs() {
+		node := s.nl.Node(r)
+		if node.En != netlist.Invalid && !cur(node.En) {
+			continue // clock-gated off: no capture to glitch
+		}
+		d := node.Fanin[0]
+		if a := arrival[d]; a != unchanged && a > deadline {
+			flipped = append(flipped, r)
+		}
+	}
+	sort.Slice(flipped, func(i, j int) bool { return flipped[i] < flipped[j] })
+	return flipped
+}
+
+// SettleTime returns the longest-path settle time of the netlist under
+// the delay model (the minimum safe capture time): the maximum over
+// registers of the D-input's longest topological delay plus setup.
+func (s *Simulator) SettleTime() float64 {
+	depth := make([]float64, s.nl.NumNodes())
+	for _, id := range s.order {
+		latest := 0.0
+		for _, f := range s.nl.Node(id).Fanin {
+			if depth[f] > latest {
+				latest = depth[f]
+			}
+		}
+		depth[id] = latest + s.Delay(id)
+	}
+	worst := 0.0
+	for _, r := range s.nl.Regs() {
+		if d := depth[s.nl.Node(r).Fanin[0]]; d > worst {
+			worst = d
+		}
+	}
+	return worst + s.dm.Setup
+}

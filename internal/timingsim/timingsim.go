@@ -1,0 +1,397 @@
+// Package timingsim implements the gate-level half of the cross-level
+// flow: a timed simulation of the single fault-injection cycle. A
+// radiation strike deposits voltage transients at the struck gates; the
+// transients propagate through sensitized paths (with electrical
+// masking), and a register captures a wrong value when a surviving
+// transient satisfies its setup/hold window at the capturing clock edge.
+//
+// The algorithm follows the Monte Carlo SEU flow of Li et al. (DAC'16,
+// reference [16] of the paper): fault waveforms are represented as sets
+// of disjoint time intervals during which a net differs from its
+// fault-free value, and are swept through the netlist in topological
+// order.
+package timingsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// DelayModel holds the timing parameters of the synthetic standard-cell
+// library, in picoseconds.
+type DelayModel struct {
+	// CellDelay maps each cell type to its propagation delay.
+	CellDelay map[netlist.CellType]float64
+	// ClockPeriod is the cycle length; registers capture at this time.
+	ClockPeriod float64
+	// Setup and Hold bound the latching window around the capture
+	// edge: a transient is latched only if it spans
+	// [ClockPeriod-Setup, ClockPeriod+Hold].
+	Setup, Hold float64
+	// Attenuation is the pulse-width loss per traversed gate
+	// (electrical masking).
+	Attenuation float64
+	// MinPulse is the narrowest pulse that still propagates; anything
+	// narrower is absorbed.
+	MinPulse float64
+	// GatedWindowFactor widens the setup/hold capture requirement for
+	// clock-gated registers whose enable is low in the injection
+	// cycle: with the clock gated off, only a transient wide and
+	// strong enough to upset the storage cell directly is captured.
+	// 1 disables the distinction.
+	GatedWindowFactor float64
+}
+
+// DefaultDelayModel returns timing representative of a mature planar
+// node (~90 nm class): 1 ns cycle, gate delays of tens of ps.
+func DefaultDelayModel() DelayModel {
+	return DelayModel{
+		CellDelay: map[netlist.CellType]float64{
+			netlist.Buf:  8,
+			netlist.Inv:  5,
+			netlist.And:  11,
+			netlist.Nand: 9,
+			netlist.Or:   11,
+			netlist.Nor:  9,
+			netlist.Xor:  15,
+			netlist.Xnor: 15,
+			netlist.Mux2: 17,
+		},
+		ClockPeriod:       600,
+		Setup:             25,
+		Hold:              10,
+		Attenuation:       6,
+		MinPulse:          12,
+		GatedWindowFactor: 12,
+	}
+}
+
+// Interval is a half-open time span [Start, End) during which a net is
+// inverted relative to its fault-free value.
+type Interval struct {
+	Start, End float64
+}
+
+// Width returns the interval duration.
+func (iv Interval) Width() float64 { return iv.End - iv.Start }
+
+// Strike describes one radiation-induced transient injection: the gates
+// hit, when within the cycle the particle arrives, and the deposited
+// pulse width. Widths, when non-nil, gives a per-gate deposit width
+// (parallel to Gates) — charge sharing decays away from the strike
+// center, and unequal deposits prevent the exact cancellation that
+// identical pulses on series gates would produce.
+type Strike struct {
+	Gates  []netlist.NodeID
+	Time   float64
+	Width  float64
+	Widths []float64
+}
+
+// widthAt returns the deposit width for the i-th struck gate.
+func (st Strike) widthAt(i int) float64 {
+	if st.Widths != nil {
+		return st.Widths[i]
+	}
+	return st.Width
+}
+
+// Result reports the outcome of simulating one injection cycle.
+type Result struct {
+	// FlippedRegs lists registers that latched a wrong value, sorted
+	// by id.
+	FlippedRegs []netlist.NodeID
+	// ActiveGates counts gates whose output carried at least one
+	// fault interval (a measure of transient spread).
+	ActiveGates int
+	// ReachedRegs counts registers whose D input saw any transient,
+	// latched or not (logical reach before temporal masking).
+	ReachedRegs int
+}
+
+// Simulator performs timed injection-cycle evaluation over a fixed
+// netlist. It is not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	nl    *netlist.Netlist
+	dm    DelayModel
+	order []netlist.NodeID
+	// waves is indexed by node: current fault waveform.
+	waves [][]Interval
+	dirty []bool
+}
+
+// New builds a timed simulator. The netlist must be valid.
+func New(nl *netlist.Netlist, dm DelayModel) (*Simulator, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if dm.ClockPeriod <= 0 {
+		return nil, fmt.Errorf("timingsim: non-positive clock period %v", dm.ClockPeriod)
+	}
+	return &Simulator{
+		nl:    nl,
+		dm:    dm,
+		order: order,
+		waves: make([][]Interval, nl.NumNodes()),
+		dirty: make([]bool, nl.NumNodes()),
+	}, nil
+}
+
+// Wave returns the fault waveform computed for a node by the most
+// recent Inject call. The caller must not mutate it.
+func (s *Simulator) Wave(id netlist.NodeID) []Interval { return s.waves[id] }
+
+// ClockPeriod returns the delay model's cycle length.
+func (s *Simulator) ClockPeriod() float64 { return s.dm.ClockPeriod }
+
+// Delay returns the modeled delay of a node's cell.
+func (s *Simulator) Delay(id netlist.NodeID) float64 {
+	return s.dm.CellDelay[s.nl.Node(id).Type]
+}
+
+// Inject simulates one fault-injection cycle. values must return the
+// fault-free logic value of every node during the cycle (typically the
+// RTL simulator's post-Eval state). It returns which registers latch
+// wrong values at the cycle's closing clock edge.
+func (s *Simulator) Inject(values func(netlist.NodeID) bool, strike Strike) Result {
+	// Reset per-run state.
+	for i := range s.waves {
+		s.waves[i] = s.waves[i][:0]
+		s.dirty[i] = false
+	}
+	if strike.Widths != nil && len(strike.Widths) != len(strike.Gates) {
+		panic(fmt.Sprintf("timingsim: %d widths for %d gates", len(strike.Widths), len(strike.Gates)))
+	}
+	for i, g := range strike.Gates {
+		node := s.nl.Node(g)
+		if !node.Type.IsCombinational() || node.Type == netlist.Const0 || node.Type == netlist.Const1 {
+			continue
+		}
+		iv := Interval{Start: strike.Time, End: strike.Time + strike.widthAt(i)}
+		if iv.Width() < s.dm.MinPulse {
+			continue
+		}
+		s.waves[g] = xorIntervals(s.waves[g], []Interval{iv})
+		s.dirty[g] = true
+	}
+
+	var res Result
+	// Propagate in topological order. A gate needs (re)evaluation if
+	// any fanin carries a waveform; its own strike contribution was
+	// seeded above and is XORed with the propagated response.
+	for _, id := range s.order {
+		node := s.nl.Node(id)
+		anyIn := false
+		for _, f := range node.Fanin {
+			if len(s.waves[f]) > 0 {
+				anyIn = true
+				break
+			}
+		}
+		if !anyIn {
+			if len(s.waves[id]) > 0 {
+				res.ActiveGates++
+			}
+			continue
+		}
+		prop := s.propagate(id, values)
+		prop = conditionWith(prop, s.Delay(id), s.dm.Attenuation, s.dm.MinPulse)
+		if s.dirty[id] {
+			// Struck gate: its own deposited pulse is combined
+			// with whatever arrives through its inputs.
+			s.waves[id] = xorIntervals(s.waves[id], prop)
+		} else {
+			s.waves[id] = prop
+		}
+		if len(s.waves[id]) > 0 {
+			res.ActiveGates++
+		}
+	}
+
+	// Latching check per register. Clock-gated registers whose enable
+	// is low this cycle require a much wider transient (direct
+	// storage-node upset instead of a clocked capture).
+	gf := s.dm.GatedWindowFactor
+	if gf < 1 {
+		gf = 1
+	}
+	for _, r := range s.nl.Regs() {
+		node := s.nl.Node(r)
+		d := node.Fanin[0]
+		w := s.waves[d]
+		if len(w) == 0 {
+			continue
+		}
+		res.ReachedRegs++
+		setup, hold := s.dm.Setup, s.dm.Hold
+		if node.En != netlist.Invalid && !values(node.En) {
+			setup *= gf
+			hold *= gf
+		}
+		winStart := s.dm.ClockPeriod - setup
+		winEnd := s.dm.ClockPeriod + hold
+		for _, iv := range w {
+			if iv.Start <= winStart && iv.End >= winEnd {
+				res.FlippedRegs = append(res.FlippedRegs, r)
+				break
+			}
+		}
+	}
+	sort.Slice(res.FlippedRegs, func(i, j int) bool { return res.FlippedRegs[i] < res.FlippedRegs[j] })
+	return res
+}
+
+// propagate computes the fault waveform at a gate's output (before
+// delay/attenuation) from its fanin waveforms by sweeping the combined
+// event points: within each span between events, every fanin has a
+// constant flip state, so the output flip state is a single cell
+// evaluation against the fault-free values.
+func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) bool) []Interval {
+	node := s.nl.Node(id)
+	fi := node.Fanin
+
+	// Gather event points.
+	var events []float64
+	for _, f := range fi {
+		for _, iv := range s.waves[f] {
+			events = append(events, iv.Start, iv.End)
+		}
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	sort.Float64s(events)
+	events = dedupFloats(events)
+
+	nominalOut := evalBool(node.Type, fi, values, nil)
+	var out []Interval
+	// Evaluate within each span [events[i], events[i+1]).
+	flipped := make(map[netlist.NodeID]bool, len(fi))
+	for i := 0; i+1 < len(events); i++ {
+		mid := (events[i] + events[i+1]) / 2
+		for k := range flipped {
+			delete(flipped, k)
+		}
+		for _, f := range fi {
+			if covered(s.waves[f], mid) {
+				flipped[f] = true
+			}
+		}
+		v := evalBool(node.Type, fi, values, flipped)
+		if v != nominalOut {
+			out = appendMerged(out, Interval{events[i], events[i+1]})
+		}
+	}
+	return out
+}
+
+// conditionWith applies gate delay and electrical masking (pulse-width
+// attenuation with a minimum propagatable width) to a waveform.
+func conditionWith(w []Interval, delay, att, minPulse float64) []Interval {
+	out := w[:0]
+	for _, iv := range w {
+		width := iv.Width() - att
+		if width < minPulse {
+			continue
+		}
+		out = append(out, Interval{Start: iv.Start + delay, End: iv.Start + delay + width})
+	}
+	return out
+}
+
+// evalBool evaluates a cell with fault-free values, applying the given
+// set of flipped fanins.
+func evalBool(t netlist.CellType, fanin []netlist.NodeID, values func(netlist.NodeID) bool, flipped map[netlist.NodeID]bool) bool {
+	var in [8]uint64
+	args := in[:len(fanin)]
+	if len(fanin) > len(in) {
+		args = make([]uint64, len(fanin))
+	}
+	for i, f := range fanin {
+		v := values(f)
+		if flipped[f] {
+			v = !v
+		}
+		if v {
+			args[i] = 1
+		}
+	}
+	return netlist.EvalCell(t, args)&1 == 1
+}
+
+func covered(w []Interval, t float64) bool {
+	for _, iv := range w {
+		if t >= iv.Start && t < iv.End {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// appendMerged appends iv, coalescing with the previous interval when
+// they touch.
+func appendMerged(w []Interval, iv Interval) []Interval {
+	if n := len(w); n > 0 && w[n-1].End >= iv.Start {
+		if iv.End > w[n-1].End {
+			w[n-1].End = iv.End
+		}
+		return w
+	}
+	return append(w, iv)
+}
+
+// xorIntervals returns the symmetric difference of two disjoint sorted
+// interval sets: spans covered by exactly one of them.
+func xorIntervals(a, b []Interval) []Interval {
+	if len(a) == 0 {
+		return append([]Interval(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]Interval(nil), a...)
+	}
+	type edge struct {
+		t     float64
+		delta int
+	}
+	var edges []edge
+	for _, iv := range a {
+		edges = append(edges, edge{iv.Start, 1}, edge{iv.End, -1})
+	}
+	for _, iv := range b {
+		edges = append(edges, edge{iv.Start, 2}, edge{iv.End, -2})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+	var out []Interval
+	inA, inB := 0, 0
+	prev := edges[0].t
+	for _, e := range edges {
+		if e.t > prev && (inA > 0) != (inB > 0) {
+			out = appendMerged(out, Interval{prev, e.t})
+		}
+		switch e.delta {
+		case 1:
+			inA++
+		case -1:
+			inA--
+		case 2:
+			inB++
+		case -2:
+			inB--
+		}
+		prev = e.t
+	}
+	return out
+}

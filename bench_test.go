@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -74,7 +75,7 @@ func BenchmarkFig7ErrorPatterns(b *testing.B) {
 	_, ev := benchSetup(b)
 	opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1, TrackPatterns: true}
 	b.ResetTimer()
-	c, err := ev.Engine.RunCampaign(ev.RandomSampler(), opts)
+	c, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func benchFig9(b *testing.B, mk func(*core.Evaluation) (sampling.Sampler, error)
 	}
 	opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1}
 	b.ResetTimer()
-	c, err := ev.Engine.RunCampaign(sp, opts)
+	c, err := ev.Engine.RunCampaign(context.Background(), sp, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func BenchmarkFig10GateAttackClasses(b *testing.B) {
 	_, ev := benchSetup(b)
 	opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1}
 	b.ResetTimer()
-	c, err := ev.Engine.RunCampaign(ev.RandomSampler(), opts)
+	c, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func BenchmarkFig10RegisterAttacks(b *testing.B) {
 	_, ev := benchSetup(b)
 	opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 2, Mode: montecarlo.RegisterAttack}
 	b.ResetTimer()
-	c, err := ev.Engine.RunCampaign(ev.RandomSampler(), opts)
+	c, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func BenchmarkFig11TemporalPoint(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ev.Engine.RunCampaign(sp, montecarlo.CampaignOptions{Samples: 500, Seed: 1}); err != nil {
+		if _, err := ev.Engine.RunCampaign(context.Background(), sp, montecarlo.CampaignOptions{Samples: 500, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -180,7 +181,7 @@ func BenchmarkCriticalHardening(b *testing.B) {
 	_, ev := benchSetup(b)
 	opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 3, Mode: montecarlo.RegisterAttack}
 	b.ResetTimer()
-	c, err := ev.Engine.RunCampaign(ev.RandomSampler(), opts)
+	c, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func benchAlpha(b *testing.B, alpha float64) {
 	}
 	opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1}
 	b.ResetTimer()
-	c, err := ev.Engine.RunCampaign(sp, opts)
+	c, err := ev.Engine.RunCampaign(context.Background(), sp, opts)
 	if err != nil {
 		b.Fatal(err)
 	}

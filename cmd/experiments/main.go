@@ -4,10 +4,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -24,6 +27,11 @@ func main() {
 		ids = []string{"fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "critical", "countermeasures"}
 	}
 
+	// Ctrl-C / SIGTERM aborts the current campaign instead of killing
+	// the process mid-write.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Printf("building framework + pre-characterization...\n")
 	t0 := time.Now()
 	ctx, err := experiments.NewContext(*samples)
@@ -31,6 +39,7 @@ func main() {
 		fatal(err)
 	}
 	ctx.Seed = *seed
+	ctx.Ctx = sigCtx
 	fmt.Printf("ready in %v (samples per campaign: %d)\n\n", time.Since(t0).Round(time.Millisecond), *samples)
 
 	for _, id := range ids {

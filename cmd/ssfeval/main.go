@@ -1,11 +1,20 @@
 // Command ssfeval evaluates the System Security Factor of a benchmark
 // under a configurable attack, with a chosen sampling strategy.
+//
+// Campaigns can run across an engine pool (-parallel N) and stop
+// adaptively on the paper's weak-LLN convergence bound (-adaptive
+// -eps E). Ctrl-C cancels a running campaign cleanly and reports the
+// partial results accumulated so far.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -18,7 +27,7 @@ import (
 func main() {
 	benchName := flag.String("bench", "write", "benchmark: write | read")
 	strategy := flag.String("sampler", "importance", "sampler: random | cone | importance")
-	samples := flag.Int("samples", 20000, "number of Monte Carlo samples")
+	samples := flag.Int("samples", 20000, "number of Monte Carlo samples (fixed-size campaigns)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	tRange := flag.Int("trange", 50, "temporal accuracy range (cycles)")
 	blockFrac := flag.Float64("block", 0.125, "candidate sub-block fraction of MPU gates")
@@ -26,6 +35,12 @@ func main() {
 	glitchDepth := flag.Float64("glitch-depth", 300, "clock-glitch depth in ps (glitch mode)")
 	alpha := flag.Float64("alpha", sampling.DefaultAlpha, "importance-sampling alpha")
 	beta := flag.Float64("beta", sampling.DefaultBeta, "importance-sampling beta")
+	parallel := flag.Int("parallel", 1, "number of worker engines (campaign shards)")
+	adaptive := flag.Bool("adaptive", false, "stop on the weak-LLN convergence bound instead of a fixed sample count")
+	eps := flag.Float64("eps", 0.005, "adaptive: absolute accuracy target epsilon")
+	risk := flag.Float64("risk", 0.05, "adaptive: acceptable risk of an eps-deviation")
+	maxSamples := flag.Int("max-samples", 1<<20, "adaptive: hard cap on total samples")
+	progress := flag.Bool("progress", stderrIsTerminal(), "print a live progress line to stderr")
 	flag.Parse()
 
 	bench := core.BenchmarkIllegalWrite
@@ -34,6 +49,11 @@ func main() {
 	} else if *benchName != "write" {
 		fatal(fmt.Errorf("unknown benchmark %q", *benchName))
 	}
+
+	// Ctrl-C / SIGTERM cancels the campaign; the partial results are
+	// still reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	t0 := time.Now()
 	opts := core.DefaultOptions()
@@ -69,16 +89,47 @@ func main() {
 		fatal(err)
 	}
 
-	copts := montecarlo.CampaignOptions{Samples: *samples, Seed: *seed}
+	var prog montecarlo.ProgressFunc
+	if *progress {
+		prog = func(p montecarlo.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%9d samples  ssf=%.3e  paths m/a/p/r %d/%d/%d/%d  %.0f runs/s ",
+				p.Done, p.SSF,
+				p.PathCounts[0], p.PathCounts[1], p.PathCounts[2], p.PathCounts[3],
+				p.RunsPerSec)
+		}
+	}
+
+	copts := montecarlo.CampaignOptions{Samples: *samples, Seed: *seed, Progress: prog}
 	var camp *montecarlo.Campaign
+	workers := 1
 	t1 := time.Now()
 	switch *mode {
 	case "gate", "register":
 		if *mode == "register" {
 			copts.Mode = montecarlo.RegisterAttack
 		}
-		camp, err = ev.Engine.RunCampaign(sp, copts)
+		pool, perr := ev.NewEnginePool(*parallel)
+		if perr != nil {
+			fatal(perr)
+		}
+		workers = pool.Size()
+		if *adaptive {
+			aopts := montecarlo.DefaultAdaptive(*eps)
+			aopts.Risk = *risk
+			aopts.Mode = copts.Mode
+			aopts.Seed = *seed
+			aopts.MaxSamples = *maxSamples
+			aopts.Progress = prog
+			camp, err = pool.RunAdaptive(ctx, sp, aopts)
+		} else if pool.Size() > 1 {
+			camp, err = pool.Run(ctx, sp, copts)
+		} else {
+			camp, err = ev.Engine.RunCampaign(ctx, sp, copts)
+		}
 	case "glitch":
+		if *parallel > 1 || *adaptive {
+			fatal(fmt.Errorf("glitch campaigns run sequentially with a fixed sample count"))
+		}
 		tech := fault.DefaultClockGlitch()
 		tech.Depth = *glitchDepth
 		tech.ClockPeriod = fw.Opts.Delay.ClockPeriod
@@ -87,28 +138,48 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		camp, err = ev.Engine.RunGlitchCampaign(gattack, copts)
+		camp, err = ev.Engine.RunGlitchCampaign(ctx, gattack, copts)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	if err != nil {
+	elapsed := time.Since(t1)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	cancelled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !(cancelled && camp != nil) {
 		fatal(err)
 	}
-	elapsed := time.Since(t1)
+	if cancelled {
+		fmt.Fprintf(os.Stderr, "ssfeval: cancelled after %d samples; reporting partial results\n", camp.Est.N())
+	}
 
-	t := report.NewTable(fmt.Sprintf("SSF evaluation: %s benchmark, %s sampler, %s attacks", bench, camp.SamplerName, *mode),
-		"metric", "value")
+	runs := camp.Est.N()
+	title := fmt.Sprintf("SSF evaluation: %s benchmark, %s sampler, %s attacks", bench, camp.SamplerName, *mode)
+	if *adaptive {
+		title += fmt.Sprintf(" (adaptive eps=%g risk=%g)", *eps, *risk)
+	}
+	t := report.NewTable(title, "metric", "value")
 	t.Row("SSF", camp.SSF())
 	t.Row("std. error", camp.Est.StdErr())
 	t.Row("sample variance", camp.Variance())
+	t.Row("samples", runs)
+	t.Row("worker engines", workers)
 	t.Row("successful attacks", camp.Successes)
 	t.Row("masked / mem-only / both", fmt.Sprintf("%d / %d / %d",
 		camp.ClassCounts[0], camp.ClassCounts[1], camp.ClassCounts[2]))
 	t.Row("eval paths (masked/analytical/pruned/rtl)", fmt.Sprintf("%d / %d / %d / %d",
 		camp.PathCounts[0], camp.PathCounts[1], camp.PathCounts[2], camp.PathCounts[3]))
 	t.Row("RTL cycles simulated", camp.RTLCycles)
-	t.Row("throughput", fmt.Sprintf("%.0f runs/s", float64(*samples)/elapsed.Seconds()))
+	t.Row("throughput", fmt.Sprintf("%.0f runs/s", float64(runs)/elapsed.Seconds()))
 	t.Render(os.Stdout)
+}
+
+// stderrIsTerminal reports whether stderr is an interactive terminal
+// (the default for the live progress line).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		camp, err := ev.Engine.RunCampaign(sampler, montecarlo.CampaignOptions{Samples: samples, Seed: 1})
+		camp, err := ev.Engine.RunCampaign(context.Background(), sampler, montecarlo.CampaignOptions{Samples: samples, Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		camp, err := ev.Engine.RunCampaign(sampler, montecarlo.CampaignOptions{Samples: samples, Seed: 1})
+		camp, err := ev.Engine.RunCampaign(context.Background(), sampler, montecarlo.CampaignOptions{Samples: samples, Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rad, err := evDefault.Engine.RunCampaign(radSampler, montecarlo.CampaignOptions{Samples: samples, Seed: 1})
+	rad, err := evDefault.Engine.RunCampaign(context.Background(), radSampler, montecarlo.CampaignOptions{Samples: samples, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gl, err := evDefault.Engine.RunGlitchCampaign(glitchAttack, montecarlo.CampaignOptions{Samples: samples, Seed: 1})
+	gl, err := evDefault.Engine.RunGlitchCampaign(context.Background(), glitchAttack, montecarlo.CampaignOptions{Samples: samples, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,12 +32,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gate, err := ev.Engine.RunCampaign(imp, montecarlo.CampaignOptions{Samples: 20000, Seed: 1})
+	gate, err := ev.Engine.RunCampaign(context.Background(), imp, montecarlo.CampaignOptions{Samples: 20000, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	regOpts := montecarlo.CampaignOptions{Samples: 20000, Seed: 2, Mode: montecarlo.RegisterAttack}
-	reg, err := ev.Engine.RunCampaign(ev.RandomSampler(), regOpts)
+	reg, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), regOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func main() {
 		Resilience: resil,
 		AreaFactor: area,
 	}
-	res, err := harden.Evaluate(ev.Engine, ev.RandomSampler(), regOpts, plan)
+	res, err := harden.Evaluate(context.Background(), ev.Engine, ev.RandomSampler(), regOpts, plan)
 	if err != nil {
 		log.Fatal(err)
 	}

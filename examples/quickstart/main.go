@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	camp, err := ev.EvaluateSSF(sampler, core.DefaultCampaign(20000))
+	camp, err := ev.EvaluateSSF(context.Background(), sampler, core.DefaultCampaign(20000))
 	if err != nil {
 		log.Fatal(err)
 	}

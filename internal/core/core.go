@@ -5,7 +5,7 @@
 //
 //	fw, _ := core.Build(core.DefaultOptions())
 //	ev, _ := fw.NewEvaluation(core.BenchmarkIllegalWrite, core.DefaultAttackSpec())
-//	ssf, _ := ev.EvaluateSSF(ev.ImportanceSampler(), core.DefaultCampaign(20000))
+//	ssf, _ := ev.EvaluateSSF(ctx, ev.ImportanceSampler(), core.DefaultCampaign(20000))
 //
 // Everything underneath is reachable for finer control: the packages
 // under internal/ form the layered implementation (netlist → hdl →
@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -316,9 +317,11 @@ func DefaultCampaign(samples int) montecarlo.CampaignOptions {
 	}
 }
 
-// EvaluateSSF runs a campaign and returns it.
-func (e *Evaluation) EvaluateSSF(sampler sampling.Sampler, opts montecarlo.CampaignOptions) (*montecarlo.Campaign, error) {
-	return e.Engine.RunCampaign(sampler, opts)
+// EvaluateSSF runs a campaign and returns it. The context cancels or
+// deadlines the campaign; on cancellation the partial campaign is
+// returned alongside the context's error.
+func (e *Evaluation) EvaluateSSF(ctx context.Context, sampler sampling.Sampler, opts montecarlo.CampaignOptions) (*montecarlo.Campaign, error) {
+	return e.Engine.RunCampaign(ctx, sampler, opts)
 }
 
 // CloneEngines builds n independent engines over the same design,
@@ -349,15 +352,63 @@ func (e *Evaluation) CloneEngines(n int) ([]*montecarlo.Engine, error) {
 	return out, nil
 }
 
-// EvaluateSSFParallel runs the campaign across the given number of
-// worker engines.
-func (e *Evaluation) EvaluateSSFParallel(sampler sampling.Sampler, opts montecarlo.CampaignOptions, workers int) (*montecarlo.Campaign, error) {
+// EnginePool is a reusable set of engines over one evaluation: engine
+// 0 is the evaluation's own engine, the rest are clones sharing the
+// immutable MPU elaboration, placement, and pre-characterization.
+// Build the pool once (each clone pays one golden run) and run as many
+// parallel or adaptive campaigns over it as needed. The pool runs one
+// campaign at a time; the engines themselves are not safe for
+// concurrent use outside the pool's own sharding.
+type EnginePool struct {
+	Evaluation *Evaluation
+	Engines    []*montecarlo.Engine
+}
+
+// NewEnginePool builds a pool of the given size (minimum 1). The
+// evaluation's existing engine is reused as the first pool member, so
+// a pool of size n performs n-1 additional golden runs.
+func (e *Evaluation) NewEnginePool(workers int) (*EnginePool, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	engines, err := e.CloneEngines(workers)
+	engines := []*montecarlo.Engine{e.Engine}
+	if workers > 1 {
+		clones, err := e.CloneEngines(workers - 1)
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, clones...)
+	}
+	return &EnginePool{Evaluation: e, Engines: engines}, nil
+}
+
+// Size returns the number of engines in the pool.
+func (p *EnginePool) Size() int { return len(p.Engines) }
+
+// Run splits the campaign across the pool and merges the shard results
+// (montecarlo.RunCampaignParallel).
+func (p *EnginePool) Run(ctx context.Context, sampler sampling.Sampler, opts montecarlo.CampaignOptions) (*montecarlo.Campaign, error) {
+	return montecarlo.RunCampaignParallel(ctx, p.Engines, sampler, opts)
+}
+
+// RunAdaptive runs chunked adaptive rounds across the pool, stopping
+// on the weak-LLN bound. A pool of one engine degenerates to the
+// sequential RunAdaptive (including its per-sample convergence trace).
+func (p *EnginePool) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts montecarlo.AdaptiveOptions) (*montecarlo.Campaign, error) {
+	if len(p.Engines) == 1 {
+		return p.Engines[0].RunAdaptive(ctx, sampler, opts)
+	}
+	return montecarlo.RunAdaptiveParallel(ctx, p.Engines, sampler, opts)
+}
+
+// EvaluateSSFParallel runs the campaign across the given number of
+// worker engines. For repeated campaigns build an EnginePool once
+// instead: this convenience clones (and golden-runs) the workers on
+// every call.
+func (e *Evaluation) EvaluateSSFParallel(ctx context.Context, sampler sampling.Sampler, opts montecarlo.CampaignOptions, workers int) (*montecarlo.Campaign, error) {
+	pool, err := e.NewEnginePool(workers)
 	if err != nil {
 		return nil, err
 	}
-	return montecarlo.RunCampaignParallel(engines, sampler, opts)
+	return pool.Run(ctx, sampler, opts)
 }

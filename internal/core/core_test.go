@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -113,7 +114,7 @@ func TestEvaluationEndToEnd(t *testing.T) {
 	if ev.RandomSampler().Name() == "" || cone.Name() == "" || imp.Name() == "" {
 		t.Error("unnamed sampler")
 	}
-	camp, err := ev.EvaluateSSF(imp, DefaultCampaign(200))
+	camp, err := ev.EvaluateSSF(context.Background(), imp, DefaultCampaign(200))
 	if err != nil {
 		t.Fatal(err)
 	}

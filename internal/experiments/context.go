@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -19,8 +20,19 @@ type Context struct {
 	Samples int
 	// Seed drives all campaigns.
 	Seed int64
+	// Ctx, when set, cancels or deadlines every campaign the drivers
+	// run (cmd/experiments wires SIGINT here); nil means Background.
+	Ctx context.Context
 
 	evals map[core.Benchmark]*core.Evaluation
+}
+
+// ctx returns the driver context, defaulting to Background.
+func (c *Context) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // NewContext builds the framework once. The pre-characterization depth

@@ -48,13 +48,13 @@ func Countermeasures(c *Context) (*CountermeasuresResult, error) {
 		if err != nil {
 			return row, err
 		}
-		gate, err := ev.Engine.RunCampaign(imp, c.campaign(montecarlo.GateAttack))
+		gate, err := ev.Engine.RunCampaign(c.ctx(), imp, c.campaign(montecarlo.GateAttack))
 		if err != nil {
 			return row, err
 		}
 		regOpts := c.campaign(montecarlo.RegisterAttack)
 		regOpts.Seed = c.Seed + 1
-		reg, err := ev.Engine.RunCampaign(ev.RandomSampler(), regOpts)
+		reg, err := ev.Engine.RunCampaign(c.ctx(), ev.RandomSampler(), regOpts)
 		if err != nil {
 			return row, err
 		}
@@ -77,7 +77,7 @@ func Countermeasures(c *Context) (*CountermeasuresResult, error) {
 	}
 	regOpts := c.campaign(montecarlo.RegisterAttack)
 	regOpts.Seed = c.Seed + 1
-	regCamp, err := ev.Engine.RunCampaign(ev.RandomSampler(), regOpts)
+	regCamp, err := ev.Engine.RunCampaign(c.ctx(), ev.RandomSampler(), regOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +113,7 @@ func Countermeasures(c *Context) (*CountermeasuresResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	dualReg, err := dualEv.Engine.RunCampaign(dualEv.RandomSampler(), regOpts)
+	dualReg, err := dualEv.Engine.RunCampaign(c.ctx(), dualEv.RandomSampler(), regOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -43,13 +43,13 @@ func Critical(c *Context) (*CriticalResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	gate, err := ev.Engine.RunCampaign(imp, c.campaign(montecarlo.GateAttack))
+	gate, err := ev.Engine.RunCampaign(c.ctx(), imp, c.campaign(montecarlo.GateAttack))
 	if err != nil {
 		return nil, err
 	}
 	regOpts := c.campaign(montecarlo.RegisterAttack)
 	regOpts.Seed = c.Seed + 1
-	reg, err := ev.Engine.RunCampaign(ev.RandomSampler(), regOpts)
+	reg, err := ev.Engine.RunCampaign(c.ctx(), ev.RandomSampler(), regOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +71,7 @@ func Critical(c *Context) (*CriticalResult, error) {
 		Resilience: resil,
 		AreaFactor: area,
 	}
-	hres, err := harden.Evaluate(ev.Engine, ev.RandomSampler(), regOpts, plan)
+	hres, err := harden.Evaluate(c.ctx(), ev.Engine, ev.RandomSampler(), regOpts, plan)
 	if err != nil {
 		return nil, err
 	}

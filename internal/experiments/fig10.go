@@ -32,13 +32,13 @@ func Fig10(c *Context) (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gate, err := ev.Engine.RunCampaign(ev.RandomSampler(), c.campaign(montecarlo.GateAttack))
+	gate, err := ev.Engine.RunCampaign(c.ctx(), ev.RandomSampler(), c.campaign(montecarlo.GateAttack))
 	if err != nil {
 		return nil, err
 	}
 	regOpts := c.campaign(montecarlo.RegisterAttack)
 	regOpts.Seed = c.Seed + 1
-	reg, err := ev.Engine.RunCampaign(ev.RandomSampler(), regOpts)
+	reg, err := ev.Engine.RunCampaign(c.ctx(), ev.RandomSampler(), regOpts)
 	if err != nil {
 		return nil, err
 	}

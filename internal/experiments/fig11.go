@@ -123,7 +123,7 @@ func (c *Context) sweepSSF(prog *soc.Program, spec core.AttackSpec, candidates [
 	if impErr != nil {
 		sampler = ev.RandomSampler()
 	}
-	camp, err := ev.Engine.RunCampaign(sampler, opts)
+	camp, err := ev.Engine.RunCampaign(c.ctx(), sampler, opts)
 	if err != nil {
 		return 0, err
 	}

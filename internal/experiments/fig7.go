@@ -38,14 +38,14 @@ func Fig7(c *Context) (*Fig7Result, error) {
 	}
 	gateOpts := c.campaign(montecarlo.GateAttack)
 	gateOpts.TrackPatterns = true
-	gate, err := ev.Engine.RunCampaign(ev.RandomSampler(), gateOpts)
+	gate, err := ev.Engine.RunCampaign(c.ctx(), ev.RandomSampler(), gateOpts)
 	if err != nil {
 		return nil, err
 	}
 	regOpts := c.campaign(montecarlo.RegisterAttack)
 	regOpts.TrackPatterns = true
 	regOpts.Seed = c.Seed + 1
-	reg, err := ev.Engine.RunCampaign(ev.RandomSampler(), regOpts)
+	reg, err := ev.Engine.RunCampaign(c.ctx(), ev.RandomSampler(), regOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -61,7 +61,7 @@ func Fig9(c *Context) (*Fig9Result, error) {
 	for _, sp := range samplers {
 		opts := c.campaign(montecarlo.GateAttack)
 		opts.TrackConvergence = true
-		camp, err := ev.Engine.RunCampaign(sp, opts)
+		camp, err := ev.Engine.RunCampaign(c.ctx(), sp, opts)
 		if err != nil {
 			return nil, err
 		}

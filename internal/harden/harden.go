@@ -6,6 +6,7 @@
 package harden
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/montecarlo"
@@ -89,18 +90,18 @@ type Result struct {
 
 // Evaluate runs the same campaign with and without the plan and
 // reports the security improvement and area cost.
-func Evaluate(e *montecarlo.Engine, sampler sampling.Sampler, opts montecarlo.CampaignOptions, p Plan) (Result, error) {
+func Evaluate(ctx context.Context, e *montecarlo.Engine, sampler sampling.Sampler, opts montecarlo.CampaignOptions, p Plan) (Result, error) {
 	nl := e.SoC.MPU.Netlist
 	if len(p.Regs) == 0 {
 		return Result{}, fmt.Errorf("harden: empty plan")
 	}
-	base, err := e.RunCampaign(sampler, opts)
+	base, err := e.RunCampaign(ctx, sampler, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	restore := p.Apply(e)
 	defer restore()
-	hard, err := e.RunCampaign(sampler, opts)
+	hard, err := e.RunCampaign(ctx, sampler, opts)
 	if err != nil {
 		return Result{}, err
 	}

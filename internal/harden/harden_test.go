@@ -1,6 +1,7 @@
 package harden
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -91,7 +92,7 @@ func TestEvaluateImprovesSecurity(t *testing.T) {
 	e := evaluation(t)
 	opts := montecarlo.CampaignOptions{Samples: 8000, Seed: 5, Mode: montecarlo.RegisterAttack}
 	// Identify critical registers first.
-	camp, err := e.Engine.RunCampaign(e.RandomSampler(), opts)
+	camp, err := e.Engine.RunCampaign(context.Background(), e.RandomSampler(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestEvaluateImprovesSecurity(t *testing.T) {
 	ranked := camp.CriticalRegisters()
 	resil, area := DefaultCellParams()
 	plan := Plan{Regs: FromCritical(ranked, 0.95), Resilience: resil, AreaFactor: area}
-	res, err := Evaluate(e.Engine, e.RandomSampler(), opts, plan)
+	res, err := Evaluate(context.Background(), e.Engine, e.RandomSampler(), opts, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestEvaluateImprovesSecurity(t *testing.T) {
 func TestEvaluateEmptyPlan(t *testing.T) {
 	e := evaluation(t)
 	opts := montecarlo.CampaignOptions{Samples: 10, Seed: 1}
-	if _, err := Evaluate(e.Engine, e.RandomSampler(), opts, Plan{Resilience: 10, AreaFactor: 3}); err == nil {
+	if _, err := Evaluate(context.Background(), e.Engine, e.RandomSampler(), opts, Plan{Resilience: 10, AreaFactor: 3}); err == nil {
 		t.Error("empty plan accepted")
 	}
 }

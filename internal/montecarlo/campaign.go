@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -24,6 +25,13 @@ type CampaignOptions struct {
 	// TrackPatterns records the distinct latched error patterns
 	// (Fig 7(b)); costs one map entry per distinct pattern.
 	TrackPatterns bool
+	// Progress, when non-nil, is invoked with aggregate snapshots
+	// while the campaign runs (see ProgressFunc for the threading
+	// contract). It does not affect the campaign result.
+	Progress ProgressFunc
+	// ProgressEvery is the approximate number of samples between
+	// Progress callbacks; 0 means the default (500).
+	ProgressEvery int
 }
 
 // Campaign is the aggregate result of a sampling campaign.
@@ -65,7 +73,20 @@ func (c *Campaign) Variance() float64 { return c.Est.Variance() }
 // RunCampaign draws samples from the sampler and evaluates each with
 // the engine, accumulating the weighted SSF estimate. RunGolden must
 // have been called.
-func (e *Engine) RunCampaign(sampler sampling.Sampler, opts CampaignOptions) (*Campaign, error) {
+//
+// The context cancels or deadlines the campaign between samples: on
+// cancellation the partial Campaign accumulated so far is returned
+// alongside the context's error, with Options.Samples reflecting the
+// samples actually evaluated.
+func (e *Engine) RunCampaign(ctx context.Context, sampler sampling.Sampler, opts CampaignOptions) (*Campaign, error) {
+	agg := newProgressAgg(opts.Progress, opts.ProgressEvery, opts.Samples, 1)
+	return e.runCampaign(ctx, sampler, opts, agg, 0)
+}
+
+// runCampaign is RunCampaign reporting progress through a caller-owned
+// aggregator under the given shard index (parallel campaigns share one
+// aggregator across their shards).
+func (e *Engine) runCampaign(ctx context.Context, sampler sampling.Sampler, opts CampaignOptions, agg *progressAgg, shard int) (*Campaign, error) {
 	if e.golden == nil {
 		return nil, fmt.Errorf("montecarlo: RunCampaign before RunGolden")
 	}
@@ -81,13 +102,32 @@ func (e *Engine) RunCampaign(sampler sampling.Sampler, opts CampaignOptions) (*C
 	if opts.TrackConvergence {
 		c.Convergence = make([]float64, 0, opts.Samples)
 	}
+	if err := e.runSamples(ctx, c, rng, sampler, opts, agg, shard); err != nil {
+		c.Options.Samples = c.Est.N()
+		return c, err
+	}
+	return c, nil
+}
+
+// runSamples evaluates opts.Samples draws into c, consulting ctx
+// between samples and reporting to agg.
+func (e *Engine) runSamples(ctx context.Context, c *Campaign, rng *rand.Rand, sampler sampling.Sampler, opts CampaignOptions, agg *progressAgg, shard int) error {
 	var layout *timingsim.RegisterLayout
 	if opts.TrackPatterns {
-		c.Patterns = make(map[string]bool)
-		c.PatternCounts = make(map[timingsim.PatternClass]int)
+		if c.Patterns == nil {
+			c.Patterns = make(map[string]bool)
+			c.PatternCounts = make(map[timingsim.PatternClass]int)
+		}
 		layout = timingsim.NewRegisterLayout(e.SoC.MPU.Groups)
 	}
+	done := ctx.Done()
 	for i := 0; i < opts.Samples; i++ {
+		select {
+		case <-done:
+			agg.observe(shard, c, true)
+			return ctx.Err()
+		default:
+		}
 		sample, weight := sampler.Draw(rng)
 		res := e.RunOnce(rng, sample, opts.Mode)
 		x := 0.0
@@ -109,8 +149,9 @@ func (e *Engine) RunCampaign(sampler sampling.Sampler, opts CampaignOptions) (*C
 			c.Patterns[timingsim.PatternKey(res.Flipped)] = true
 			c.PatternCounts[layout.Classify(res.Flipped)]++
 		}
+		agg.observe(shard, c, i+1 == opts.Samples)
 	}
-	return c, nil
+	return nil
 }
 
 // CriticalRegisters returns registers ranked by their share of the

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -94,8 +95,9 @@ func (e *Engine) RunGlitchOnce(rng *rand.Rand, sample fault.GlitchSample) RunRes
 // RunGlitchCampaign estimates the SSF of a clock-glitch attack by plain
 // Monte Carlo over the attack's own distribution (the glitch parameter
 // space is small enough that pre-characterization-driven sampling is
-// unnecessary).
-func (e *Engine) RunGlitchCampaign(attack *fault.GlitchAttack, opts CampaignOptions) (*Campaign, error) {
+// unnecessary). Cancellation via ctx returns the partial campaign
+// accumulated so far alongside the context's error.
+func (e *Engine) RunGlitchCampaign(ctx context.Context, attack *fault.GlitchAttack, opts CampaignOptions) (*Campaign, error) {
 	if e.golden == nil {
 		return nil, fmt.Errorf("montecarlo: RunGlitchCampaign before RunGolden")
 	}
@@ -114,7 +116,16 @@ func (e *Engine) RunGlitchCampaign(attack *fault.GlitchAttack, opts CampaignOpti
 	if opts.TrackConvergence {
 		c.Convergence = make([]float64, 0, opts.Samples)
 	}
+	agg := newProgressAgg(opts.Progress, opts.ProgressEvery, opts.Samples, 1)
+	done := ctx.Done()
 	for i := 0; i < opts.Samples; i++ {
+		select {
+		case <-done:
+			agg.observe(0, c, true)
+			c.Options.Samples = c.Est.N()
+			return c, ctx.Err()
+		default:
+		}
 		sample := attack.SampleNominal(rng)
 		res := e.RunGlitchOnce(rng, sample)
 		x := 0.0
@@ -132,6 +143,7 @@ func (e *Engine) RunGlitchCampaign(attack *fault.GlitchAttack, opts CampaignOpti
 		if opts.TrackConvergence {
 			c.Convergence = append(c.Convergence, c.Est.Estimate())
 		}
+		agg.observe(0, c, i+1 == opts.Samples)
 	}
 	return c, nil
 }

@@ -1,6 +1,7 @@
 package montecarlo_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -124,7 +125,7 @@ func TestGlitchCampaignEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := ev.Engine.RunGlitchCampaign(attack, montecarlo.CampaignOptions{Samples: 3000, Seed: 1})
+	c, err := ev.Engine.RunGlitchCampaign(context.Background(), attack, montecarlo.CampaignOptions{Samples: 3000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,11 +156,11 @@ func TestGlitchDeterministicDepthSweep(t *testing.T) {
 func TestGlitchCampaignValidation(t *testing.T) {
 	ev := evaluation(t)
 	attack, _ := fault.NewGlitchAttack("glitch", 5000, fault.DefaultClockGlitch())
-	if _, err := ev.Engine.RunGlitchCampaign(attack, montecarlo.CampaignOptions{Samples: 10}); err == nil {
+	if _, err := ev.Engine.RunGlitchCampaign(context.Background(), attack, montecarlo.CampaignOptions{Samples: 10}); err == nil {
 		t.Error("oversized TRange accepted")
 	}
 	ok, _ := fault.NewGlitchAttack("glitch", 10, fault.DefaultClockGlitch())
-	if _, err := ev.Engine.RunGlitchCampaign(ok, montecarlo.CampaignOptions{Samples: 0}); err == nil {
+	if _, err := ev.Engine.RunGlitchCampaign(context.Background(), ok, montecarlo.CampaignOptions{Samples: 0}); err == nil {
 		t.Error("zero samples accepted")
 	}
 }

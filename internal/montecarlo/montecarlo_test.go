@@ -1,6 +1,7 @@
 package montecarlo_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -84,7 +85,7 @@ func TestCampaignBeforeGoldenFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.RunCampaign(&fakeSampler{attack}, montecarlo.CampaignOptions{Samples: 1}); err == nil {
+	if _, err := eng.RunCampaign(context.Background(), &fakeSampler{attack}, montecarlo.CampaignOptions{Samples: 1}); err == nil {
 		t.Error("campaign before golden run accepted")
 	}
 	if _, err := eng.RunGolden(0); err == nil {
@@ -117,7 +118,7 @@ func TestRunOnceDeterministic(t *testing.T) {
 func TestCampaignAccounting(t *testing.T) {
 	ev := evaluation(t)
 	opts := montecarlo.CampaignOptions{Samples: 400, Seed: 7, TrackConvergence: true, TrackPatterns: true}
-	c, err := ev.Engine.RunCampaign(ev.RandomSampler(), opts)
+	c, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,8 +154,8 @@ func TestCampaignAccounting(t *testing.T) {
 func TestCampaignReproducible(t *testing.T) {
 	ev := evaluation(t)
 	opts := montecarlo.CampaignOptions{Samples: 300, Seed: 9}
-	c1, _ := ev.Engine.RunCampaign(ev.RandomSampler(), opts)
-	c2, _ := ev.Engine.RunCampaign(ev.RandomSampler(), opts)
+	c1, _ := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
+	c2, _ := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
 	if c1.SSF() != c2.SSF() || c1.Successes != c2.Successes || c1.ClassCounts != c2.ClassCounts {
 		t.Fatal("same seed produced different campaigns")
 	}
@@ -251,7 +252,7 @@ func TestHardeningSuppressesFlips(t *testing.T) {
 	prev := ev.Engine.Hardened
 	ev.Engine.Hardened = hardened
 	defer func() { ev.Engine.Hardened = prev }()
-	c, err := ev.Engine.RunCampaign(ev.RandomSampler(), montecarlo.CampaignOptions{Samples: 300, Seed: 3})
+	c, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), montecarlo.CampaignOptions{Samples: 300, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestHardeningSuppressesFlips(t *testing.T) {
 func TestRegisterAttackFindsCriticalRegs(t *testing.T) {
 	ev := evaluation(t)
 	opts := montecarlo.CampaignOptions{Samples: 6000, Seed: 4, Mode: montecarlo.RegisterAttack}
-	c, err := ev.Engine.RunCampaign(ev.RandomSampler(), opts)
+	c, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package montecarlo_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -102,11 +103,11 @@ func TestMultiCycleRaisesSSF(t *testing.T) {
 	}
 	evSingle := evaluation(t)
 	opts := montecarlo.CampaignOptions{Samples: 8000, Seed: 6}
-	multi, err := evMulti.Engine.RunCampaign(evMulti.RandomSampler(), opts)
+	multi, err := evMulti.Engine.RunCampaign(context.Background(), evMulti.RandomSampler(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := evSingle.Engine.RunCampaign(evSingle.RandomSampler(), opts)
+	single, err := evSingle.Engine.RunCampaign(context.Background(), evSingle.RandomSampler(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

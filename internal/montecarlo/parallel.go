@@ -1,6 +1,8 @@
 package montecarlo
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -10,9 +12,12 @@ import (
 
 // Merge folds another campaign (same sampler, same engine family) into
 // this one: estimator, class/path/success accounting, register
-// attribution, and pattern sets. Convergence traces are not merged
-// (they are per-shard sequences); the receiver's is cleared to avoid
-// misreading a partial trace as the whole campaign's.
+// attribution, and pattern sets. Convergence traces are dropped — a
+// cross-shard merge has no meaningful global sample order, so the
+// receiver's trace is cleared to avoid misreading a partial trace as
+// the whole campaign's. Use MergeSequential when o is a same-engine
+// continuation of c (the chunked adaptive rounds), where the
+// concatenated order is real.
 func (c *Campaign) Merge(o *Campaign) {
 	c.Est.Merge(o.Est)
 	c.Successes += o.Successes
@@ -46,6 +51,137 @@ func (c *Campaign) Merge(o *Campaign) {
 	c.Options.Samples += o.Options.Samples
 }
 
+// MergeSequential folds a continuation chunk into this campaign while
+// extending the convergence trace: o must have been run after c on the
+// same engine (as the chunked RunAdaptive rounds are), so the
+// concatenated sample order is the campaign's real order. The appended
+// entries are recomputed as running estimates of the combined campaign
+// — o's own trace is relative to its chunk only. When either side did
+// not track convergence the trace is dropped, as in Merge.
+func (c *Campaign) MergeSequential(o *Campaign) {
+	var conv []float64
+	if c.Convergence != nil && o.Convergence != nil {
+		// The k-th chunk entry m_k is the running mean after k terms,
+		// so each weighted term is recoverable as
+		// m_k·k − m_{k−1}·(k−1); replaying the terms on a copy of the
+		// pre-merge estimator yields the campaign-global trace.
+		conv = c.Convergence
+		scratch := c.Est
+		prev := 0.0
+		for k, m := range o.Convergence {
+			term := m*float64(k+1) - prev*float64(k)
+			scratch.Add(term, 1)
+			conv = append(conv, scratch.Estimate())
+			prev = m
+		}
+	}
+	c.Merge(o)
+	c.Convergence = conv
+}
+
+// validateEngines checks an engine pool for parallel use.
+func validateEngines(engines []*Engine) error {
+	if len(engines) == 0 {
+		return fmt.Errorf("montecarlo: no engines")
+	}
+	for i, e := range engines {
+		if e == nil || e.golden == nil {
+			return fmt.Errorf("montecarlo: engine %d has no golden run", i)
+		}
+	}
+	return nil
+}
+
+// runShards runs one campaign per engine concurrently, one goroutine
+// per engine (engines with a zero-sample shard are skipped). Shard
+// panics are isolated: a panicking shard surfaces as that shard's
+// indexed error instead of crashing the process.
+func runShards(ctx context.Context, engines []*Engine, sampler sampling.Sampler, shardOpts []CampaignOptions, agg *progressAgg) ([]*Campaign, []error) {
+	results := make([]*Campaign, len(engines))
+	errs := make([]error, len(engines))
+	var wg sync.WaitGroup
+	for i := range engines {
+		if shardOpts[i].Samples == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("shard %d: panic: %v", i, r)
+				}
+			}()
+			c, err := engines[i].runCampaign(ctx, sampler, shardOpts[i], agg, i)
+			if err != nil {
+				err = fmt.Errorf("shard %d: %w", i, err)
+			}
+			results[i], errs[i] = c, err
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// mergeShards folds shard results in index order, so the merged result
+// is independent of goroutine scheduling. Cancellation is not a shard
+// failure: when the only errors are the context's, the partial shards
+// are merged and returned alongside the context error. Any other shard
+// error (including an isolated panic) fails the whole campaign.
+func mergeShards(ctx context.Context, results []*Campaign, errs []error) (*Campaign, error) {
+	var hard []error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			continue
+		}
+		hard = append(hard, err)
+	}
+	if len(hard) > 0 {
+		return nil, errors.Join(hard...)
+	}
+	var merged *Campaign
+	for _, r := range results {
+		if r == nil || r.Est.N() == 0 {
+			continue
+		}
+		if merged == nil {
+			merged = r
+			continue
+		}
+		merged.Merge(r)
+	}
+	if merged == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("montecarlo: no shards ran")
+	}
+	return merged, ctx.Err()
+}
+
+// shardCampaignOptions derives the per-engine shard options for one
+// parallel round of n total samples: an even split (earlier shards take
+// the remainder) with deterministically derived per-shard seeds.
+func shardCampaignOptions(engines int, n int, opts CampaignOptions, round int64) []CampaignOptions {
+	base := n / engines
+	extra := n % engines
+	out := make([]CampaignOptions, engines)
+	for i := range out {
+		so := opts
+		so.Progress = nil // shards report through the shared aggregator
+		so.Samples = base
+		if i < extra {
+			so.Samples++
+		}
+		so.Seed = opts.Seed*1000003 + round*int64(engines) + int64(i)
+		out[i] = so
+	}
+	return out
+}
+
 // RunCampaignParallel splits a campaign across the given engines, one
 // goroutine per engine, and merges the shard results. Every engine must
 // target the same design/benchmark/attack and have completed its golden
@@ -56,9 +192,16 @@ func (c *Campaign) Merge(o *Campaign) {
 //
 // Samplers built by internal/sampling are safe for concurrent Draw with
 // distinct rngs (they are immutable after construction).
-func RunCampaignParallel(engines []*Engine, sampler sampling.Sampler, opts CampaignOptions) (*Campaign, error) {
-	if len(engines) == 0 {
-		return nil, fmt.Errorf("montecarlo: no engines")
+//
+// The context cancels the campaign: the shards stop at their next
+// sample boundary, their partials are merged, and the merged partial
+// Campaign is returned together with the context's error. A shard that
+// panics or fails is reported as an indexed error ("shard %d: ...")
+// without taking down the process; any such failure fails the whole
+// campaign.
+func RunCampaignParallel(ctx context.Context, engines []*Engine, sampler sampling.Sampler, opts CampaignOptions) (*Campaign, error) {
+	if err := validateEngines(engines); err != nil {
+		return nil, err
 	}
 	if opts.Samples < 1 {
 		return nil, fmt.Errorf("montecarlo: %d samples", opts.Samples)
@@ -66,61 +209,31 @@ func RunCampaignParallel(engines []*Engine, sampler sampling.Sampler, opts Campa
 	if opts.TrackConvergence {
 		return nil, fmt.Errorf("montecarlo: convergence tracking is per-shard; run sequentially to trace convergence")
 	}
-	for i, e := range engines {
-		if e.golden == nil {
-			return nil, fmt.Errorf("montecarlo: engine %d has no golden run", i)
-		}
+	agg := newProgressAgg(opts.Progress, opts.ProgressEvery, opts.Samples, len(engines))
+	shardOpts := shardCampaignOptions(len(engines), opts.Samples, opts, 0)
+	results, errs := runShards(ctx, engines, sampler, shardOpts, agg)
+	merged, err := mergeShards(ctx, results, errs)
+	if merged != nil {
+		merged.Options.Seed = opts.Seed
+		merged.Options.Progress = opts.Progress
 	}
-	n := len(engines)
-	results := make([]*Campaign, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	base := opts.Samples / n
-	extra := opts.Samples % n
-	for i, e := range engines {
-		shard := opts
-		shard.Samples = base
-		if i < extra {
-			shard.Samples++
-		}
-		shard.Seed = opts.Seed*1000003 + int64(i)
-		if shard.Samples == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(i int, e *Engine, shard CampaignOptions) {
-			defer wg.Done()
-			results[i], errs[i] = e.RunCampaign(sampler, shard)
-		}(i, e, shard)
-	}
-	wg.Wait()
-	var merged *Campaign
-	for i := range results {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		if results[i] == nil {
-			continue
-		}
-		if merged == nil {
-			merged = results[i]
-			continue
-		}
-		merged.Merge(results[i])
-	}
-	if merged == nil {
-		return nil, fmt.Errorf("montecarlo: no shards ran")
-	}
-	merged.Options.Seed = opts.Seed
-	return merged, nil
+	return merged, err
 }
 
-// AdaptiveOptions configures RunAdaptive.
+// AdaptiveOptions configures RunAdaptive and RunAdaptiveParallel.
 type AdaptiveOptions struct {
 	// Mode, Seed, TrackPatterns as in CampaignOptions.
 	Mode          Mode
 	Seed          int64
 	TrackPatterns bool
+	// TrackConvergence records the campaign's running estimate. In
+	// RunAdaptive the trace has one entry per sample, exactly as a
+	// sequential RunCampaign would produce (the chunked rounds are
+	// stitched with MergeSequential). In RunAdaptiveParallel the
+	// per-sample order across shards is not meaningful, so the trace
+	// holds one entry per round instead: the merged estimate after
+	// each round.
+	TrackConvergence bool
 	// Epsilon and Risk define the stopping criterion via the paper's
 	// weak-LLN bound: stop once
 	// Pr[|estimate − SSF| ≥ Epsilon] ≤ Risk, i.e.
@@ -129,8 +242,14 @@ type AdaptiveOptions struct {
 	// MinSamples guards against stopping on a premature zero-variance
 	// streak; MaxSamples bounds the total effort.
 	MinSamples, MaxSamples int
-	// CheckEvery controls how often the bound is evaluated.
+	// CheckEvery controls how often the bound is evaluated. In the
+	// parallel run each engine contributes CheckEvery samples per
+	// round, so the bound is checked every CheckEvery×engines samples.
 	CheckEvery int
+	// Progress and ProgressEvery as in CampaignOptions; adaptive
+	// snapshots report Total as 0 (open-ended).
+	Progress      ProgressFunc
+	ProgressEvery int
 }
 
 // DefaultAdaptive returns a criterion targeting ±eps at 5% risk.
@@ -144,25 +263,55 @@ func DefaultAdaptive(eps float64) AdaptiveOptions {
 	}
 }
 
+// sanitize validates the stopping criterion and applies the defaults
+// RunAdaptive has always applied to the effort bounds.
+func (o *AdaptiveOptions) sanitize() error {
+	if o.Epsilon <= 0 || o.Risk <= 0 || o.Risk >= 1 {
+		return fmt.Errorf("montecarlo: bad criterion eps=%v risk=%v", o.Epsilon, o.Risk)
+	}
+	if o.MinSamples < 1 {
+		o.MinSamples = 1
+	}
+	if o.MaxSamples < o.MinSamples {
+		o.MaxSamples = o.MinSamples
+	}
+	if o.CheckEvery < 1 {
+		o.CheckEvery = 100
+	}
+	return nil
+}
+
+// converged reports whether the accumulated campaign meets the
+// stopping criterion.
+func (o *AdaptiveOptions) converged(total *Campaign) bool {
+	return total != nil &&
+		total.Est.N() >= o.MinSamples &&
+		total.Est.LLNBound(o.Epsilon) <= o.Risk
+}
+
+// finish stamps the synthesized options of an adaptive campaign.
+func (o *AdaptiveOptions) finish(total *Campaign) *Campaign {
+	if total == nil {
+		return nil
+	}
+	total.Options.Seed = o.Seed
+	total.Options.Samples = total.Est.N()
+	return total
+}
+
 // RunAdaptive samples until the weak-LLN convergence bound the paper
 // quotes drops below the requested risk ("the whole process is continued
 // until the empirical estimate converges"), then returns the campaign.
-func (e *Engine) RunAdaptive(sampler sampling.Sampler, opts AdaptiveOptions) (*Campaign, error) {
+// Cancellation via ctx returns the partial campaign accumulated so far
+// alongside the context's error.
+func (e *Engine) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts AdaptiveOptions) (*Campaign, error) {
 	if e.golden == nil {
 		return nil, fmt.Errorf("montecarlo: RunAdaptive before RunGolden")
 	}
-	if opts.Epsilon <= 0 || opts.Risk <= 0 || opts.Risk >= 1 {
-		return nil, fmt.Errorf("montecarlo: bad criterion eps=%v risk=%v", opts.Epsilon, opts.Risk)
+	if err := opts.sanitize(); err != nil {
+		return nil, err
 	}
-	if opts.MinSamples < 1 {
-		opts.MinSamples = 1
-	}
-	if opts.MaxSamples < opts.MinSamples {
-		opts.MaxSamples = opts.MinSamples
-	}
-	if opts.CheckEvery < 1 {
-		opts.CheckEvery = 100
-	}
+	agg := newProgressAgg(opts.Progress, opts.ProgressEvery, 0, 1)
 	var total *Campaign
 	chunkIdx := int64(0)
 	for {
@@ -177,25 +326,102 @@ func (e *Engine) RunAdaptive(sampler sampling.Sampler, opts AdaptiveOptions) (*C
 		if chunkN > remaining {
 			chunkN = remaining
 		}
-		chunk, err := e.RunCampaign(sampler, CampaignOptions{
-			Samples:       chunkN,
-			Mode:          opts.Mode,
-			Seed:          opts.Seed*999983 + chunkIdx,
-			TrackPatterns: opts.TrackPatterns,
-		})
-		if err != nil {
-			return nil, err
-		}
+		chunk, err := e.runCampaign(ctx, sampler, CampaignOptions{
+			Samples:          chunkN,
+			Mode:             opts.Mode,
+			Seed:             opts.Seed*999983 + chunkIdx,
+			TrackConvergence: opts.TrackConvergence,
+			TrackPatterns:    opts.TrackPatterns,
+		}, agg, 0)
 		chunkIdx++
 		if total == nil {
 			total = chunk
-		} else {
-			total.Merge(chunk)
+		} else if chunk != nil {
+			total.MergeSequential(chunk)
 		}
-		if total.Est.N() >= opts.MinSamples && total.Est.LLNBound(opts.Epsilon) <= opts.Risk {
+		if err != nil {
+			return opts.finish(total), err
+		}
+		agg.rebase(0)
+		if opts.converged(total) {
 			break
 		}
 	}
-	total.Options.Seed = opts.Seed
-	return total, nil
+	return opts.finish(total), nil
+}
+
+// RunAdaptiveParallel composes the parallel and adaptive campaigns: it
+// runs chunked rounds across the engine pool (CheckEvery samples per
+// engine per round) and evaluates the weak-LLN stopping bound on the
+// merged estimator between rounds, so it stops within one round of the
+// criterion being met. Per-(round, shard) seeds are derived
+// deterministically and shards merge in index order, making the result
+// reproducible and independent of scheduling (it differs from the
+// sequential RunAdaptive with the same seed).
+//
+// Cancellation returns the merged partial campaign alongside the
+// context's error; a panicking or failing shard surfaces as an indexed
+// error and fails the campaign.
+func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler sampling.Sampler, opts AdaptiveOptions) (*Campaign, error) {
+	if err := validateEngines(engines); err != nil {
+		return nil, err
+	}
+	if err := opts.sanitize(); err != nil {
+		return nil, err
+	}
+	nE := len(engines)
+	agg := newProgressAgg(opts.Progress, opts.ProgressEvery, 0, nE)
+	copts := CampaignOptions{
+		Mode:          opts.Mode,
+		Seed:          opts.Seed,
+		TrackPatterns: opts.TrackPatterns,
+	}
+	var total *Campaign
+	var conv []float64
+	for round := int64(0); ; round++ {
+		done := 0
+		if total != nil {
+			done = total.Est.N()
+		}
+		remaining := opts.MaxSamples - done
+		if remaining <= 0 {
+			break
+		}
+		roundN := opts.CheckEvery * nE
+		if roundN > remaining {
+			roundN = remaining
+		}
+		shardOpts := shardCampaignOptions(nE, roundN, copts, round)
+		results, errs := runShards(ctx, engines, sampler, shardOpts, agg)
+		roundTotal, err := mergeShards(ctx, results, errs)
+		if roundTotal != nil {
+			if total == nil {
+				total = roundTotal
+			} else {
+				total.Merge(roundTotal)
+			}
+			if opts.TrackConvergence {
+				conv = append(conv, total.Est.Estimate())
+			}
+		}
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				if total != nil && opts.TrackConvergence {
+					total.Convergence = conv
+				}
+				return opts.finish(total), err
+			}
+			return nil, err
+		}
+		for i := range engines {
+			agg.rebase(i)
+		}
+		if opts.converged(total) {
+			break
+		}
+	}
+	if total != nil && opts.TrackConvergence {
+		total.Convergence = conv
+	}
+	return opts.finish(total), nil
 }

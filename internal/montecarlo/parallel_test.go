@@ -1,6 +1,7 @@
 package montecarlo_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,11 +13,11 @@ func TestCampaignMerge(t *testing.T) {
 	ev := evaluation(t)
 	o1 := montecarlo.CampaignOptions{Samples: 300, Seed: 1, TrackPatterns: true}
 	o2 := montecarlo.CampaignOptions{Samples: 200, Seed: 2, TrackPatterns: true}
-	c1, err := ev.Engine.RunCampaign(ev.RandomSampler(), o1)
+	c1, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), o1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := ev.Engine.RunCampaign(ev.RandomSampler(), o2)
+	c2, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), o2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestParallelCampaignMatchesSequentialStatistics(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := montecarlo.CampaignOptions{Samples: 3000, Seed: 5}
-	par, err := montecarlo.RunCampaignParallel(engines, ev.RandomSampler(), opts)
+	par, err := montecarlo.RunCampaignParallel(context.Background(), engines, ev.RandomSampler(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestParallelCampaignMatchesSequentialStatistics(t *testing.T) {
 		t.Fatalf("parallel N = %d", par.Est.N())
 	}
 	// Reproducibility: same engines, same seed -> identical result.
-	par2, err := montecarlo.RunCampaignParallel(engines, ev.RandomSampler(), opts)
+	par2, err := montecarlo.RunCampaignParallel(context.Background(), engines, ev.RandomSampler(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestParallelCampaignMatchesSequentialStatistics(t *testing.T) {
 	// Statistical agreement with a sequential campaign of the same
 	// size (different streams, same distribution): class fractions
 	// within a loose tolerance.
-	seq, err := ev.Engine.RunCampaign(ev.RandomSampler(), opts)
+	seq, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,17 +85,17 @@ func TestParallelCampaignMatchesSequentialStatistics(t *testing.T) {
 
 func TestParallelValidation(t *testing.T) {
 	ev := evaluation(t)
-	if _, err := montecarlo.RunCampaignParallel(nil, ev.RandomSampler(), montecarlo.CampaignOptions{Samples: 10}); err == nil {
+	if _, err := montecarlo.RunCampaignParallel(context.Background(), nil, ev.RandomSampler(), montecarlo.CampaignOptions{Samples: 10}); err == nil {
 		t.Error("no engines accepted")
 	}
 	engines, err := ev.CloneEngines(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := montecarlo.RunCampaignParallel(engines, ev.RandomSampler(), montecarlo.CampaignOptions{Samples: 0}); err == nil {
+	if _, err := montecarlo.RunCampaignParallel(context.Background(), engines, ev.RandomSampler(), montecarlo.CampaignOptions{Samples: 0}); err == nil {
 		t.Error("zero samples accepted")
 	}
-	if _, err := montecarlo.RunCampaignParallel(engines, ev.RandomSampler(),
+	if _, err := montecarlo.RunCampaignParallel(context.Background(), engines, ev.RandomSampler(),
 		montecarlo.CampaignOptions{Samples: 10, TrackConvergence: true}); err == nil {
 		t.Error("convergence tracking in parallel accepted")
 	}
@@ -107,7 +108,7 @@ func TestParallelUnevenSplit(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 100 samples over 3 engines: 34+33+33.
-	c, err := montecarlo.RunCampaignParallel(engines, ev.RandomSampler(), montecarlo.CampaignOptions{Samples: 100, Seed: 1})
+	c, err := montecarlo.RunCampaignParallel(context.Background(), engines, ev.RandomSampler(), montecarlo.CampaignOptions{Samples: 100, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestRunAdaptiveStops(t *testing.T) {
 	opts.MinSamples = 500
 	opts.CheckEvery = 250
 	opts.MaxSamples = 20000
-	c, err := ev.Engine.RunAdaptive(ev.RandomSampler(), opts)
+	c, err := ev.Engine.RunAdaptive(context.Background(), ev.RandomSampler(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,11 +146,11 @@ func TestRunAdaptiveTighterCriterionNeedsMore(t *testing.T) {
 	loose.MinSamples, loose.CheckEvery, loose.MaxSamples = 200, 200, 30000
 	tight := loose
 	tight.Epsilon = 0.002
-	cl, err := ev.Engine.RunAdaptive(ev.RandomSampler(), loose)
+	cl, err := ev.Engine.RunAdaptive(context.Background(), ev.RandomSampler(), loose)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ct, err := ev.Engine.RunAdaptive(ev.RandomSampler(), tight)
+	ct, err := ev.Engine.RunAdaptive(context.Background(), ev.RandomSampler(), tight)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +162,12 @@ func TestRunAdaptiveTighterCriterionNeedsMore(t *testing.T) {
 func TestRunAdaptiveValidation(t *testing.T) {
 	ev := evaluation(t)
 	bad := montecarlo.DefaultAdaptive(0)
-	if _, err := ev.Engine.RunAdaptive(ev.RandomSampler(), bad); err == nil {
+	if _, err := ev.Engine.RunAdaptive(context.Background(), ev.RandomSampler(), bad); err == nil {
 		t.Error("epsilon 0 accepted")
 	}
 	bad = montecarlo.DefaultAdaptive(0.01)
 	bad.Risk = 2
-	if _, err := ev.Engine.RunAdaptive(ev.RandomSampler(), bad); err == nil {
+	if _, err := ev.Engine.RunAdaptive(context.Background(), ev.RandomSampler(), bad); err == nil {
 		t.Error("risk 2 accepted")
 	}
 }

@@ -125,12 +125,18 @@ func (e *Weighted) LLNBound(eps float64) float64 { return e.inner.LLNBound(eps) 
 func (e *Weighted) Merge(o Weighted) { e.inner.Merge(o.inner) }
 
 // Histogram counts observations in fixed-width bins over [min, max);
-// values outside the range are clamped into the first/last bin so the
-// total count always matches the number of observations.
+// finite values outside the range are clamped into the first/last bin
+// so the binned total always matches the number of finite observations.
+// NaN observations carry no position at all (int(NaN) is an
+// implementation-defined conversion in Go) and are counted separately
+// in NaNs instead of polluting bin 0.
 type Histogram struct {
 	Min, Max float64
 	Counts   []int
-	total    int
+	// NaNs counts NaN observations, which are excluded from the bins
+	// and from Total.
+	NaNs  int
+	total int
 }
 
 // NewHistogram creates a histogram with the given number of bins.
@@ -141,20 +147,28 @@ func NewHistogram(min, max float64, bins int) *Histogram {
 	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
 }
 
-// Add records an observation.
+// Add records an observation. NaN is counted in NaNs, not in any bin.
 func (h *Histogram) Add(x float64) {
-	bin := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
-	if bin < 0 {
-		bin = 0
+	if math.IsNaN(x) {
+		h.NaNs++
+		return
 	}
-	if bin >= len(h.Counts) {
+	// Clamp in the float domain: converting an out-of-range float
+	// (±Inf or huge finite values) to int is implementation-defined in
+	// Go and must never reach the conversion.
+	pos := (x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts))
+	bin := 0
+	switch {
+	case pos >= float64(len(h.Counts)):
 		bin = len(h.Counts) - 1
+	case pos > 0:
+		bin = int(pos)
 	}
 	h.Counts[bin]++
 	h.total++
 }
 
-// Total returns the number of recorded observations.
+// Total returns the number of binned observations (NaNs excluded).
 func (h *Histogram) Total() int { return h.total }
 
 // Fraction returns the share of observations in the given bin.
@@ -237,7 +251,17 @@ func NewDiscrete(weights []float64) (*Discrete, error) {
 		run += d.probs[i]
 		d.cum[i] = run
 	}
-	d.cum[len(d.cum)-1] = 1 // guard against rounding
+	// Guard against rounding: the last bin with mass must reach
+	// exactly 1, and every trailing zero-probability bin must share
+	// that value — otherwise rounding slack (cum < 1 at the last mass
+	// bin) would make a trailing empty bin the first to exceed a
+	// variate near 1.
+	for i := len(d.cum) - 1; i >= 0; i-- {
+		d.cum[i] = 1
+		if d.probs[i] > 0 {
+			break
+		}
+	}
 	return d, nil
 }
 
@@ -248,18 +272,21 @@ func (d *Discrete) Prob(i int) float64 { return d.probs[i] }
 func (d *Discrete) Len() int { return len(d.probs) }
 
 // Sample draws an index using the caller-supplied uniform variate
-// u in [0, 1).
+// u in [0, 1). Bin i owns the half-open interval [cum[i-1], cum[i]),
+// so a variate exactly equal to an interior cumulative value belongs
+// to the next bin with mass, never to bin i itself.
 func (d *Discrete) Sample(u float64) int {
-	i := sort.SearchFloat64s(d.cum, u)
+	// The first index with cum > u is the owner of [cum[i-1], cum[i]).
+	// It necessarily has nonzero mass: a zero-probability bin shares
+	// its cumulative value with its predecessor, so it can never be
+	// the *first* index to exceed u.
+	i := sort.Search(len(d.cum), func(j int) bool { return d.cum[j] > u })
 	if i >= len(d.cum) {
+		// Defensive: only reachable for u >= 1, outside the contract.
 		i = len(d.cum) - 1
-	}
-	// SearchFloat64s returns the first index with cum >= u only when
-	// cum[i] == u exactly; for cum[i] > u it returns the insertion
-	// point, which is the bin we want. Skip zero-probability bins that
-	// can alias at the same cumulative value.
-	for i < len(d.probs)-1 && d.probs[i] == 0 {
-		i++
+		for i > 0 && d.probs[i] == 0 {
+			i--
+		}
 	}
 	return i
 }

@@ -293,3 +293,125 @@ func TestMeanEmpty(t *testing.T) {
 		t.Error("Mean wrong")
 	}
 }
+
+func TestHistogramNaN(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(3)
+	h.Add(math.NaN())
+	h.Add(math.NaN())
+	if h.NaNs != 2 {
+		t.Errorf("NaNs = %d", h.NaNs)
+	}
+	if h.Total() != 1 {
+		t.Errorf("Total = %d, NaN observations must not be binned", h.Total())
+	}
+	if h.Counts[0] != 0 {
+		t.Errorf("bin 0 polluted by NaN: %d", h.Counts[0])
+	}
+	// Infinities are finite-comparable and still clamp like before.
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	if h.Counts[4] != 1 || h.Counts[0] != 1 || h.Total() != 3 {
+		t.Errorf("infinity clamping broken: %v total %d", h.Counts, h.Total())
+	}
+}
+
+func TestDiscreteSampleBoundarySemantics(t *testing.T) {
+	// Bins own half-open intervals [cum[i-1], cum[i]): a variate equal
+	// to an interior cumulative boundary belongs to the NEXT bin.
+	d, err := NewDiscrete([]float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		u    float64
+		want int
+	}{
+		{0, 0},
+		{0.2499, 0},
+		{0.25, 1}, // exact boundary: bin 1, not bin 0
+		{0.4999, 1},
+		{0.5, 2}, // exact boundary: bin 2, not bin 1
+		{0.9999, 2},
+	} {
+		if got := d.Sample(tc.u); got != tc.want {
+			t.Errorf("Sample(%v) = %d, want %d", tc.u, got, tc.want)
+		}
+	}
+	// Zero-probability bins are never selected, even at their shared
+	// boundary value.
+	z, err := NewDiscrete([]float64{0, 1, 0, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := z.Sample(0); got != 1 {
+		t.Errorf("Sample(0) = %d, want first bin with mass", got)
+	}
+	if got := z.Sample(1.0 / 3); got != 3 {
+		t.Errorf("Sample(cum boundary aliased by zero bin) = %d, want 3", got)
+	}
+}
+
+func TestDiscreteSampleBoundaryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		weights := make([]float64, n)
+		nonzero := false
+		for i := range weights {
+			if rng.Float64() < 0.4 { // plenty of zero-probability bins
+				continue
+			}
+			weights[i] = rng.Float64()
+			nonzero = nonzero || weights[i] > 0
+		}
+		if !nonzero {
+			weights[rng.Intn(n)] = 1
+		}
+		d, err := NewDiscrete(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct the cumulative table from the public Prob view,
+		// with the same tail rule the distribution documents: the last
+		// bin with mass owns everything up to 1, absorbing rounding
+		// slack in the running sum.
+		cum := make([]float64, n)
+		run := 0.0
+		for i := 0; i < n; i++ {
+			run += d.Prob(i)
+			cum[i] = run
+		}
+		for i := n - 1; i >= 0; i-- {
+			cum[i] = 1
+			if d.Prob(i) > 0 {
+				break
+			}
+		}
+		check := func(u float64) {
+			i := d.Sample(u)
+			if d.Prob(i) == 0 {
+				t.Fatalf("weights %v: Sample(%v) hit zero-probability bin %d", weights, u, i)
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = cum[i-1]
+			}
+			if u < lo || u >= cum[i] {
+				t.Fatalf("weights %v: Sample(%v) = %d outside its half-open bin [%v, %v)",
+					weights, u, i, lo, cum[i])
+			}
+		}
+		// Every interior cumulative boundary is a half-open edge; also
+		// probe random interior variates and 0 itself.
+		check(0)
+		for i := 0; i < n-1; i++ {
+			if cum[i] < 1 {
+				check(cum[i])
+			}
+		}
+		for k := 0; k < 20; k++ {
+			check(rng.Float64())
+		}
+	}
+}

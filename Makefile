@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/montecarlo/... ./internal/timingsim/... ./internal/logicsim/... ./internal/stats/... ./internal/sampling/...
+
+# bench regenerates BENCH_runonce.json, the committed perf record of the
+# per-run hot path (ns/op + allocs/op for RunOnce, GateInjection, RTLCycle).
+bench:
+	$(GO) run ./cmd/benchjson -out BENCH_runonce.json
+
+# bench-smoke is the cheap CI guard: the hot-path benchmarks must still
+# compile and run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunOnce$$|BenchmarkGateInjection$$' -benchtime=100x .

@@ -1,0 +1,127 @@
+// Command benchjson regenerates BENCH_runonce.json, the committed
+// performance record of the per-run hot path: ns/op, B/op, and
+// allocs/op for a complete cross-level run (RunOnce), one timed
+// gate-level injection (GateInjection), and one RTL cycle (RTLCycle).
+// It uses the same setup as the root go-bench harness, so the numbers
+// are comparable to `go test -bench`.
+//
+// Usage: go run ./cmd/benchjson [-out BENCH_runonce.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/montecarlo"
+	"repro/internal/netlist"
+	"repro/internal/soc"
+	"repro/internal/timingsim"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	N           int     `json:"n"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_runonce.json", "output path")
+	flag.Parse()
+
+	fw, err := core.Build(core.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	ev, err := fw.NewEvaluation(core.BenchmarkIllegalWrite, core.DefaultAttackSpec())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	var results []benchResult
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		res := benchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			N:           r.N,
+		}
+		results = append(results, res)
+		fmt.Printf("%-16s %12.0f ns/op %8d B/op %6d allocs/op (n=%d)\n",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.N)
+	}
+
+	record("RunOnce", func(b *testing.B) {
+		b.ReportAllocs()
+		rng := rand.New(rand.NewSource(1))
+		samples := make([]fault.Sample, 512)
+		for i := range samples {
+			samples[i] = ev.Attack.SampleNominal(rng)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Engine.RunOnce(rng, samples[i%len(samples)], montecarlo.GateAttack)
+		}
+	})
+
+	record("GateInjection", func(b *testing.B) {
+		b.ReportAllocs()
+		tsim, err := timingsim.New(fw.MPU.Netlist, fw.Opts.Delay)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := ev.Engine.SoC
+		s.Reset()
+		for i := 0; i < 100; i++ {
+			s.Step()
+		}
+		s.Sim.Eval()
+		values := func(id netlist.NodeID) bool { return s.Sim.Bool(id) }
+		rng := rand.New(rand.NewSource(1))
+		strikes := make([]timingsim.Strike, 64)
+		for i := range strikes {
+			smp := ev.Attack.SampleNominal(rng)
+			strikes[i] = ev.Attack.Strike(fw.Place, smp)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tsim.Inject(values, strikes[i%len(strikes)])
+		}
+	})
+
+	record("RTLCycle", func(b *testing.B) {
+		b.ReportAllocs()
+		cfg := soc.DefaultConfig()
+		s, err := soc.New(cfg, soc.SyntheticProgram(cfg.DMABase, cfg.DMALimit))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+
+	data, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -277,6 +277,7 @@ func (f *Framework) NewEvaluationAttack(prog *soc.Program, attack *fault.Attack)
 	if err != nil {
 		return nil, err
 	}
+	engine.DensifyAttackWindow()
 	return &Evaluation{
 		Framework: f,
 		Program:   prog,
@@ -344,9 +345,13 @@ func (e *Evaluation) CloneEngines(n int) ([]*montecarlo.Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Share the parent's timed simulator topology and fault-cone
+		// schedule cache instead of recomputing them per clone.
+		eng.Timing = e.Engine.Timing.Fork()
 		if _, err := eng.RunGolden(f.Opts.CheckpointInterval); err != nil {
 			return nil, err
 		}
+		eng.DensifyAttackWindow()
 		out = append(out, eng)
 	}
 	return out, nil

@@ -25,6 +25,10 @@ type Simulator struct {
 	nl    *netlist.Netlist
 	order []netlist.NodeID
 	vals  []uint64
+	// latchBuf and argBuf are per-simulator scratch so the per-cycle
+	// Latch/Eval hot path allocates nothing.
+	latchBuf []uint64
+	argBuf   []uint64 // spill for cells with more than 8 fanins
 }
 
 // New builds a simulator for the netlist. The netlist must be valid; the
@@ -36,9 +40,19 @@ func New(nl *netlist.Netlist) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{
-		nl:    nl,
-		order: order,
-		vals:  make([]uint64, nl.NumNodes()),
+		nl:       nl,
+		order:    order,
+		vals:     make([]uint64, nl.NumNodes()),
+		latchBuf: make([]uint64, len(nl.Regs())),
+	}
+	maxFanin := 0
+	for i := 0; i < nl.NumNodes(); i++ {
+		if l := len(nl.Node(netlist.NodeID(i)).Fanin); l > maxFanin {
+			maxFanin = l
+		}
+	}
+	if maxFanin > 8 {
+		s.argBuf = make([]uint64, maxFanin)
 	}
 	s.Reset()
 	return s, nil
@@ -48,7 +62,15 @@ func New(nl *netlist.Netlist) (*Simulator, error) {
 // and topological order but with its own value state, initialized to a
 // copy of the receiver's current state.
 func (s *Simulator) Fork() *Simulator {
-	c := &Simulator{nl: s.nl, order: s.order, vals: make([]uint64, len(s.vals))}
+	c := &Simulator{
+		nl:       s.nl,
+		order:    s.order,
+		vals:     make([]uint64, len(s.vals)),
+		latchBuf: make([]uint64, len(s.latchBuf)),
+	}
+	if s.argBuf != nil {
+		c.argBuf = make([]uint64, len(s.argBuf))
+	}
 	copy(c.vals, s.vals)
 	return c
 }
@@ -93,10 +115,11 @@ func (s *Simulator) Eval() {
 	for _, id := range s.order {
 		node := s.nl.Node(id)
 		fi := node.Fanin
-		args := in[:len(fi)]
+		args := in[:]
 		if len(fi) > len(in) {
-			args = make([]uint64, len(fi))
+			args = s.argBuf
 		}
+		args = args[:len(fi)]
 		for j, f := range fi {
 			args[j] = s.vals[f]
 		}
@@ -108,7 +131,7 @@ func (s *Simulator) Eval() {
 // its data input. Callers normally use Step, which evaluates first.
 func (s *Simulator) Latch() {
 	regs := s.nl.Regs()
-	next := make([]uint64, len(regs))
+	next := s.latchBuf
 	for i, r := range regs {
 		next[i] = s.vals[s.nl.Node(r).Fanin[0]]
 	}

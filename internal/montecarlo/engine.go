@@ -9,6 +9,7 @@ package montecarlo
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/analytical"
 	"repro/internal/fault"
@@ -123,6 +124,11 @@ type Golden struct {
 	Accesses []soc.AccessEvent
 	// Policy is the configured protection policy.
 	Policy analytical.Policy
+	// StateHashes[c] is the golden SoC state digest at cycle c
+	// (0 <= c <= FinalCycle). An RTL resume whose faulty state hashes
+	// equal to the golden hash at the same cycle is back on the golden
+	// trajectory and can stop early with the golden outcome.
+	StateHashes []uint64
 }
 
 // Engine evaluates fault attacks on one SoC + benchmark. It is not safe
@@ -151,8 +157,79 @@ type Engine struct {
 	// cycle (faulted runs can run longer, e.g. skipped traps).
 	ResumeMargin int
 
+	// StateCacheSize bounds the injection-window state cache: an LRU
+	// of exact-cycle snapshots keyed by the warm-up target cycle, so
+	// re-stepping from the nearest golden checkpoint is paid once per
+	// distinct cycle instead of once per sample (every sample's
+	// injection cycle falls in the same small TRange window). Set 0 to
+	// disable; New sets DefaultStateCacheSize.
+	StateCacheSize int
+	// DisableConvergenceCut turns off the golden-hash early exit of
+	// RTL resumes: with the cut enabled (default), a resume whose
+	// state digest matches the golden run's at the same cycle stops
+	// immediately with the golden outcome (attack failed). Outcomes
+	// are identical either way; only ResumeCycles changes.
+	DisableConvergenceCut bool
+
 	golden  *Golden
 	memType map[netlist.NodeID]bool
+	cache   *stateCache
+
+	// Per-run scratch (Engine is single-goroutine).
+	seen    map[netlist.NodeID]bool
+	flipBuf []netlist.NodeID
+}
+
+// DefaultStateCacheSize is the default bound of the injection-window
+// state cache; it comfortably covers the TRange windows used by the
+// paper's experiments.
+const DefaultStateCacheSize = 128
+
+// stateCache is a small LRU of exact-cycle SoC snapshots.
+type stateCache struct {
+	limit int
+	tick  int64
+	at    map[int]*cacheEntry
+}
+
+type cacheEntry struct {
+	cp   *soc.Checkpoint
+	used int64
+}
+
+func newStateCache(limit int) *stateCache {
+	return &stateCache{limit: limit, at: make(map[int]*cacheEntry, limit)}
+}
+
+func (c *stateCache) get(cycle int) *soc.Checkpoint {
+	e := c.at[cycle]
+	if e == nil {
+		return nil
+	}
+	c.tick++
+	e.used = c.tick
+	return e.cp
+}
+
+func (c *stateCache) put(cycle int, cp *soc.Checkpoint) {
+	if e := c.at[cycle]; e != nil {
+		c.tick++
+		e.cp, e.used = cp, c.tick
+		return
+	}
+	for len(c.at) >= c.limit {
+		// Evict the least recently used entry (limit is small enough
+		// that a scan beats bookkeeping on every get).
+		lruCycle, lruUsed := -1, int64(0)
+		for cyc, e := range c.at {
+			if lruCycle < 0 || e.used < lruUsed {
+				lruCycle, lruUsed = cyc, e.used
+			}
+		}
+		delete(c.at, lruCycle)
+	}
+	c.tick++
+	c.at[cycle] = &cacheEntry{cp: cp, used: c.tick}
 }
 
 // New assembles an engine. The SoC must be loaded with the attack
@@ -165,7 +242,8 @@ func New(s *soc.SoC, attack *fault.Attack, place *placement.Placement, dm timing
 	e := &Engine{
 		SoC: s, Attack: attack, Place: place, Timing: tsim,
 		Char: char, Analytical: eval,
-		ResumeMargin: 200,
+		ResumeMargin:   200,
+		StateCacheSize: DefaultStateCacheSize,
 	}
 	if char != nil {
 		e.memType = make(map[netlist.NodeID]bool, len(char.Regs))
@@ -188,12 +266,15 @@ func (e *Engine) RunGolden(interval int) (*Golden, error) {
 	}
 	s := e.SoC
 	s.Reset()
+	e.cache = nil // exact-cycle snapshots belong to the previous golden run
 	s.LogAccesses = true
 	s.Accesses = s.Accesses[:0]
 	g := &Golden{Interval: interval, SetupEnd: -1}
 	g.Checkpoints = append(g.Checkpoints, s.Snapshot())
+	g.StateHashes = append(g.StateHashes, s.StateHash())
 	for !s.Done() && s.Cycle() < s.Cfg.MaxCycles {
 		s.Step()
+		g.StateHashes = append(g.StateHashes, s.StateHash())
 		if g.SetupEnd < 0 && !s.Priv() {
 			g.SetupEnd = s.Cycle()
 		}
@@ -228,9 +309,22 @@ func (e *Engine) RunGolden(interval int) (*Golden, error) {
 	return g, nil
 }
 
-// restoreTo rewinds the SoC to the latest checkpoint at or before the
-// cycle and steps forward to it.
+// restoreTo rewinds the SoC to the exact cycle: from the state cache
+// when a snapshot of that cycle exists, otherwise from the latest
+// golden checkpoint at or before it, stepping forward (and caching the
+// result for the next sample aimed at the same cycle).
 func (e *Engine) restoreTo(cycle int) {
+	if e.StateCacheSize > 0 {
+		if e.cache == nil {
+			e.cache = newStateCache(e.StateCacheSize)
+		} else {
+			e.cache.limit = e.StateCacheSize
+		}
+		if cp := e.cache.get(cycle); cp != nil {
+			e.SoC.Restore(cp)
+			return
+		}
+	}
 	g := e.golden
 	idx := cycle / g.Interval
 	if idx >= len(g.Checkpoints) {
@@ -243,17 +337,76 @@ func (e *Engine) restoreTo(cycle int) {
 	for e.SoC.Cycle() < cycle {
 		e.SoC.Step()
 	}
+	if e.StateCacheSize > 0 {
+		e.cache.put(cycle, e.SoC.Snapshot())
+	}
 }
 
-// accessWindow returns the golden accesses issued in [from, to).
-func (g *Golden) accessWindow(from, to int) []soc.AccessEvent {
-	var out []soc.AccessEvent
-	for _, ev := range g.Accesses {
-		if ev.Cycle >= from && ev.Cycle < to {
-			out = append(out, ev)
-		}
+// DensifyAttackWindow pre-populates the state cache with one snapshot
+// per cycle of the attack's injection window [TargetCycle-TRange,
+// TargetCycle], growing StateCacheSize if the window does not fit.
+// After it, every sample's warm-up is a single Restore. Call after
+// RunGolden; a no-op when the cache is disabled.
+func (e *Engine) DensifyAttackWindow() {
+	g := e.golden
+	if g == nil || e.StateCacheSize <= 0 {
+		return
 	}
-	return out
+	lo := g.TargetCycle - e.Attack.TRange
+	if lo < 0 {
+		lo = 0
+	}
+	// One extra slot below the window: the glitch model warms up to
+	// te-1 to observe the pre-glitch cycle.
+	if lo > 0 {
+		lo--
+	}
+	hi := g.TargetCycle
+	if need := hi - lo + 1; e.StateCacheSize < need+4 {
+		e.StateCacheSize = need + 4
+	}
+	e.restoreTo(lo)
+	for c := lo + 1; c <= hi; c++ {
+		e.SoC.Step()
+		e.cache.put(c, e.SoC.Snapshot())
+	}
+}
+
+// accessWindow returns the golden accesses issued in [from, to). The
+// log is cycle-sorted, so both bounds are binary searches; the returned
+// subslice aliases the log and must not be mutated.
+func (g *Golden) accessWindow(from, to int) []soc.AccessEvent {
+	lo := sort.Search(len(g.Accesses), func(i int) bool { return g.Accesses[i].Cycle >= from })
+	hi := sort.Search(len(g.Accesses), func(i int) bool { return g.Accesses[i].Cycle >= to })
+	if hi < lo {
+		hi = lo
+	}
+	return g.Accesses[lo:hi]
+}
+
+// resumeRTL is the shared post-injection RTL resume: step until the
+// marked access resolves, the core halts, or the bounded horizon
+// expires. With the convergence cut enabled, each cycle's state digest
+// is compared against the golden run's digest for the same cycle;
+// equality means the fault has died out and the run is bit-for-bit back
+// on the golden trajectory — whose outcome is known (the attack
+// failed) — so the resume stops there.
+func (e *Engine) resumeRTL() (resumed int, success bool) {
+	g := e.golden
+	s := e.SoC
+	start := s.Cycle()
+	limit := g.FinalCycle + e.ResumeMargin
+	hashes := g.StateHashes
+	useCut := !e.DisableConvergenceCut
+	for !s.Done() && !s.Marked.Resolved && s.Cycle() < limit {
+		if useCut {
+			if c := s.Cycle(); c < len(hashes) && s.StateHash() == hashes[c] {
+				return s.Cycle() - start, false
+			}
+		}
+		s.Step()
+	}
+	return s.Cycle() - start, s.AttackSucceeded()
 }
 
 // RunOnce executes one fault-attack run for the given sample. RunGolden
@@ -275,8 +428,10 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 	if max := g.TargetCycle - te + 1; cycles > max {
 		cycles = max
 	}
-	var flipped []netlist.NodeID
-	seen := map[netlist.NodeID]bool{}
+	flipped := e.flipBuf[:0]
+	if cycles > 1 && len(e.seen) > 0 {
+		clear(e.seen)
+	}
 	for c := 0; c < cycles; c++ {
 		var cycleFlips []netlist.NodeID
 		e.SoC.StepInject(func(values func(netlist.NodeID) bool) []netlist.NodeID {
@@ -299,15 +454,29 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 			}
 			return cycleFlips
 		})
+		if cycles == 1 {
+			// A single injection cycle cannot produce duplicates.
+			flipped = append(flipped, cycleFlips...)
+			break
+		}
 		for _, r := range cycleFlips {
-			if !seen[r] {
-				seen[r] = true
+			if !e.seen[r] {
+				if e.seen == nil {
+					e.seen = make(map[netlist.NodeID]bool, 16)
+				}
+				e.seen[r] = true
 				flipped = append(flipped, r)
 			}
 		}
 	}
+	e.flipBuf = flipped
 
-	res := RunResult{Flipped: flipped}
+	res := RunResult{}
+	if len(flipped) > 0 {
+		// Copy out of the scratch buffer: the result outlives the run
+		// (campaign attribution, pattern tracking).
+		res.Flipped = append([]netlist.NodeID(nil), flipped...)
+	}
 	switch {
 	case len(flipped) == 0:
 		res.Class = Masked
@@ -325,13 +494,7 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 	if cycles > 1 && res.Class != Masked {
 		res.Class = Mixed
 		res.Path = PathRTL
-		start := e.SoC.Cycle()
-		limit := g.FinalCycle + e.ResumeMargin
-		for !e.SoC.Done() && !e.SoC.Marked.Resolved && e.SoC.Cycle() < limit {
-			e.SoC.Step()
-		}
-		res.ResumeCycles = e.SoC.Cycle() - start
-		res.Success = e.SoC.AttackSucceeded()
+		res.ResumeCycles, res.Success = e.resumeRTL()
 		return res
 	}
 
@@ -368,13 +531,7 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 	// Full RTL resume: run until the marked access resolves (or the
 	// run ends some other way — e.g. a spurious trap halts the core).
 	res.Path = PathRTL
-	start := e.SoC.Cycle()
-	limit := g.FinalCycle + e.ResumeMargin
-	for !e.SoC.Done() && !e.SoC.Marked.Resolved && e.SoC.Cycle() < limit {
-		e.SoC.Step()
-	}
-	res.ResumeCycles = e.SoC.Cycle() - start
-	res.Success = e.SoC.AttackSucceeded()
+	res.ResumeCycles, res.Success = e.resumeRTL()
 	return res
 }
 

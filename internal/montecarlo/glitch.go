@@ -82,13 +82,7 @@ func (e *Engine) RunGlitchOnce(rng *rand.Rand, sample fault.GlitchSample) RunRes
 	}
 
 	res.Path = PathRTL
-	start := e.SoC.Cycle()
-	limit := g.FinalCycle + e.ResumeMargin
-	for !e.SoC.Done() && !e.SoC.Marked.Resolved && e.SoC.Cycle() < limit {
-		e.SoC.Step()
-	}
-	res.ResumeCycles = e.SoC.Cycle() - start
-	res.Success = e.SoC.AttackSucceeded()
+	res.ResumeCycles, res.Success = e.resumeRTL()
 	return res
 }
 

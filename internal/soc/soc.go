@@ -93,6 +93,11 @@ type SoC struct {
 	DMAViol   int
 	Marked    MarkedOutcome
 
+	// memHash is the XOR over all cells of memCellHash(addr, value),
+	// maintained incrementally on committed writes so StateHash never
+	// rescans the memory image.
+	memHash uint64
+
 	// LogAccesses enables recording every issued bus access into
 	// Accesses — used by the golden run so the analytical evaluator
 	// knows which accesses fall between injection and target cycle.
@@ -155,6 +160,10 @@ func (s *SoC) Reset() {
 	s.TrapCount = 0
 	s.DMAViol = 0
 	s.Marked = MarkedOutcome{}
+	s.memHash = 0
+	for i := range s.Mem {
+		s.memHash ^= memCellHash(i, 0)
+	}
 }
 
 // Cycle returns the number of completed cycles.
@@ -301,10 +310,102 @@ func (s *SoC) FlipRegsNow(regs []netlist.NodeID) {
 func (s *SoC) commit(op busOp) {
 	addr := int(op.Addr) % len(s.Mem)
 	if op.Write {
-		s.Mem[addr] = op.WData
+		if old := s.Mem[addr]; old != op.WData {
+			s.memHash ^= memCellHash(addr, old) ^ memCellHash(addr, op.WData)
+			s.Mem[addr] = op.WData
+		}
 	} else if !op.FromDMA {
 		s.cpu.R[op.Reg] = s.Mem[addr]
 	}
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
+// bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// memCellHash gives each (address, value) pair an independent
+// pseudo-random signature; the memory image's hash is the XOR over all
+// cells, which a write updates in O(1).
+func memCellHash(addr int, v uint16) uint64 {
+	return mix64(1<<63 | uint64(addr)<<16 | uint64(v))
+}
+
+// busOpBits packs a bus operation's fields (except RespCycle, hashed
+// separately) into one word.
+func busOpBits(op *busOp) uint64 {
+	v := uint64(op.Addr)<<8 | uint64(op.WData)<<24 | uint64(uint8(op.Reg))<<40
+	if op.Active {
+		v |= 1
+	}
+	if op.Write {
+		v |= 2
+	}
+	if op.Marked {
+		v |= 4
+	}
+	if op.FromDMA {
+		v |= 8
+	}
+	return v
+}
+
+// StateHash returns a 64-bit digest of the complete SoC state: the
+// architectural core/bus/DMA/trap state, the marked-access outcome, the
+// memory image (via the incrementally maintained hash), and all 64
+// lanes of every MPU register. The SoC steps deterministically, so two
+// instances with equal hashes at the same cycle follow identical
+// trajectories from there on (up to the ~2^-64 collision probability);
+// the Monte Carlo engine uses this to cut an RTL resume short once a
+// fault has died out and the run is back on the golden trajectory.
+func (s *SoC) StateHash() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	mixIn := func(x uint64) { h = mix64(h ^ x) }
+	c := &s.cpu
+	for _, r := range c.R {
+		mixIn(uint64(r))
+	}
+	mixIn(uint64(int64(c.PC)))
+	var flags uint64
+	if c.Priv {
+		flags |= 1
+	}
+	if c.Halted {
+		flags |= 2
+	}
+	m := &s.Marked
+	if m.Resolved {
+		flags |= 4
+	}
+	if m.Committed {
+		flags |= 8
+	}
+	if m.Trapped {
+		flags |= 16
+	}
+	mixIn(flags)
+	mixIn(busOpBits(&s.pending))
+	mixIn(uint64(int64(s.pending.RespCycle)))
+	mixIn(busOpBits(&s.lastReq))
+	mixIn(uint64(int64(s.lastReq.RespCycle)))
+	mixIn(uint64(int64(s.dmaNext)))
+	mixIn(uint64(s.dmaAddr))
+	mixIn(uint64(int64(s.TrapCount)))
+	mixIn(uint64(int64(s.DMAViol)))
+	mixIn(uint64(int64(m.IssueCycle)))
+	mixIn(uint64(int64(m.DecisionCycle)))
+	mixIn(uint64(int64(m.RespCycle)))
+	mixIn(s.memHash)
+	for _, r := range s.MPU.Netlist.Regs() {
+		mixIn(s.Sim.Val(r))
+	}
+	return h
 }
 
 // execute runs one instruction and reports any bus request / config
@@ -391,6 +492,7 @@ type Checkpoint struct {
 	TrapCount int
 	DMAViol   int
 	Marked    MarkedOutcome
+	MemHash   uint64
 	Mem       []uint16
 	MPURegs   []uint64
 }
@@ -407,6 +509,7 @@ func (s *SoC) Snapshot() *Checkpoint {
 		TrapCount: s.TrapCount,
 		DMAViol:   s.DMAViol,
 		Marked:    s.Marked,
+		MemHash:   s.memHash,
 		Mem:       append([]uint16(nil), s.Mem...),
 		MPURegs:   s.Sim.RegState(),
 	}
@@ -424,6 +527,7 @@ func (s *SoC) Restore(cp *Checkpoint) {
 	s.TrapCount = cp.TrapCount
 	s.DMAViol = cp.DMAViol
 	s.Marked = cp.Marked
+	s.memHash = cp.MemHash
 	copy(s.Mem, cp.Mem)
 	s.Sim.SetRegState(cp.MPURegs)
 }

@@ -10,11 +10,20 @@
 // of disjoint time intervals during which a net differs from its
 // fault-free value, and are swept through the netlist in topological
 // order.
+//
+// The sweep is sparse: a strike only ever disturbs the combinational
+// fanout cone of the struck gates, so Inject walks a precomputed
+// topo-sorted cone schedule instead of the whole netlist, resets only
+// the nodes the previous run touched, and stops as soon as every
+// surviving waveform has been swept past. The cone schedules are cached
+// per gate and shared (read-only, under a lock) across Fork copies.
 package timingsim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/netlist"
 )
@@ -111,15 +120,67 @@ type Result struct {
 	ReachedRegs int
 }
 
+// coneCache memoizes the topo-sorted combinational fanout-cone schedule
+// of each gate. It is shared across Fork copies: schedules are built
+// once per gate per design, whichever simulator strikes it first.
+type coneCache struct {
+	mu    sync.RWMutex
+	sched map[netlist.NodeID][]netlist.NodeID
+}
+
+func (c *coneCache) get(g netlist.NodeID) []netlist.NodeID {
+	c.mu.RLock()
+	s := c.sched[g]
+	c.mu.RUnlock()
+	return s
+}
+
+func (c *coneCache) put(g netlist.NodeID, sched []netlist.NodeID) []netlist.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.sched[g]; ok {
+		return prev // another fork won the race; use its schedule
+	}
+	c.sched[g] = sched
+	return sched
+}
+
 // Simulator performs timed injection-cycle evaluation over a fixed
-// netlist. It is not safe for concurrent use; create one per goroutine.
+// netlist. It is not safe for concurrent use; Fork one per goroutine
+// (forks share the immutable topology tables and the cone-schedule
+// cache).
 type Simulator struct {
 	nl    *netlist.Netlist
 	dm    DelayModel
 	order []netlist.NodeID
-	// waves is indexed by node: current fault waveform.
-	waves [][]Interval
-	dirty []bool
+
+	// Immutable per-design tables, shared read-only across Fork.
+	topoPos      []int32   // node -> position in order (-1 for non-comb)
+	delays       []float64 // node -> cell propagation delay
+	combFanout   [][]netlist.NodeID
+	regFanout    [][]netlist.NodeID // node -> DFFs whose D input it drives
+	maxFanoutPos []int32            // node -> furthest comb fanout position
+	maxFanin     int
+	cones        *coneCache
+
+	// Per-run waveform state, reset via the touched list.
+	waves   [][]Interval // indexed by node: current fault waveform
+	dirty   []bool       // node was struck (own deposit to XOR in)
+	touched []netlist.NodeID
+	marked  []bool // node is on the touched list
+
+	// Scratch buffers reused across Inject calls.
+	events   []float64
+	flips    []bool
+	argBuf   []uint64 // spill for cells with more than 8 fanins
+	propBuf  []Interval
+	heapBuf  []int32
+	visitBuf []netlist.NodeID
+	inSched  []bool
+
+	// reference switches Inject to the dense full-order sweep; kept
+	// for equivalence testing against the sparse fast path.
+	reference bool
 }
 
 // New builds a timed simulator. The netlist must be valid.
@@ -131,14 +192,93 @@ func New(nl *netlist.Netlist, dm DelayModel) (*Simulator, error) {
 	if dm.ClockPeriod <= 0 {
 		return nil, fmt.Errorf("timingsim: non-positive clock period %v", dm.ClockPeriod)
 	}
-	return &Simulator{
-		nl:    nl,
-		dm:    dm,
-		order: order,
-		waves: make([][]Interval, nl.NumNodes()),
-		dirty: make([]bool, nl.NumNodes()),
-	}, nil
+	n := nl.NumNodes()
+	s := &Simulator{
+		nl:           nl,
+		dm:           dm,
+		order:        order,
+		topoPos:      make([]int32, n),
+		delays:       make([]float64, n),
+		combFanout:   make([][]netlist.NodeID, n),
+		regFanout:    make([][]netlist.NodeID, n),
+		maxFanoutPos: make([]int32, n),
+		cones:        &coneCache{sched: make(map[netlist.NodeID][]netlist.NodeID)},
+		waves:        make([][]Interval, n),
+		dirty:        make([]bool, n),
+		marked:       make([]bool, n),
+		inSched:      make([]bool, n),
+	}
+	for i := range s.topoPos {
+		s.topoPos[i] = -1
+		s.maxFanoutPos[i] = -1
+	}
+	for pos, id := range order {
+		s.topoPos[id] = int32(pos)
+	}
+	for i := 0; i < n; i++ {
+		id := netlist.NodeID(i)
+		node := nl.Node(id)
+		s.delays[i] = dm.CellDelay[node.Type]
+		if l := len(node.Fanin); l > s.maxFanin {
+			s.maxFanin = l
+		}
+	}
+	for i, fos := range nl.Fanouts() {
+		for _, fo := range fos {
+			if nl.Node(fo).Type == netlist.DFF {
+				s.regFanout[i] = append(s.regFanout[i], fo)
+				continue
+			}
+			if s.topoPos[fo] >= 0 {
+				s.combFanout[i] = append(s.combFanout[i], fo)
+				if s.topoPos[fo] > s.maxFanoutPos[i] {
+					s.maxFanoutPos[i] = s.topoPos[fo]
+				}
+			}
+		}
+	}
+	s.flips = make([]bool, s.maxFanin)
+	if s.maxFanin > 8 {
+		s.argBuf = make([]uint64, s.maxFanin)
+	}
+	return s, nil
 }
+
+// Fork returns an independent simulator over the same design: the
+// immutable topology tables and the cone-schedule cache are shared, the
+// waveform state and scratch buffers are private. Forks may be used
+// concurrently with the parent and with each other.
+func (s *Simulator) Fork() *Simulator {
+	n := s.nl.NumNodes()
+	c := &Simulator{
+		nl:           s.nl,
+		dm:           s.dm,
+		order:        s.order,
+		topoPos:      s.topoPos,
+		delays:       s.delays,
+		combFanout:   s.combFanout,
+		regFanout:    s.regFanout,
+		maxFanoutPos: s.maxFanoutPos,
+		maxFanin:     s.maxFanin,
+		cones:        s.cones,
+		waves:        make([][]Interval, n),
+		dirty:        make([]bool, n),
+		marked:       make([]bool, n),
+		inSched:      make([]bool, n),
+		flips:        make([]bool, s.maxFanin),
+		reference:    s.reference,
+	}
+	if s.maxFanin > 8 {
+		c.argBuf = make([]uint64, s.maxFanin)
+	}
+	return c
+}
+
+// SetReferenceSweep switches Inject between the sparse fault-cone sweep
+// (the default) and the dense full-netlist reference sweep that visits
+// every combinational node on every call. The two produce bit-identical
+// results; the reference exists for equivalence testing and debugging.
+func (s *Simulator) SetReferenceSweep(on bool) { s.reference = on }
 
 // Wave returns the fault waveform computed for a node by the most
 // recent Inject call. The caller must not mutate it.
@@ -148,8 +288,14 @@ func (s *Simulator) Wave(id netlist.NodeID) []Interval { return s.waves[id] }
 func (s *Simulator) ClockPeriod() float64 { return s.dm.ClockPeriod }
 
 // Delay returns the modeled delay of a node's cell.
-func (s *Simulator) Delay(id netlist.NodeID) float64 {
-	return s.dm.CellDelay[s.nl.Node(id).Type]
+func (s *Simulator) Delay(id netlist.NodeID) float64 { return s.delays[id] }
+
+// touch puts a node on the list reset before the next Inject.
+func (s *Simulator) touch(id netlist.NodeID) {
+	if !s.marked[id] {
+		s.marked[id] = true
+		s.touched = append(s.touched, id)
+	}
 }
 
 // Inject simulates one fault-injection cycle. values must return the
@@ -157,11 +303,13 @@ func (s *Simulator) Delay(id netlist.NodeID) float64 {
 // RTL simulator's post-Eval state). It returns which registers latch
 // wrong values at the cycle's closing clock edge.
 func (s *Simulator) Inject(values func(netlist.NodeID) bool, strike Strike) Result {
-	// Reset per-run state.
-	for i := range s.waves {
-		s.waves[i] = s.waves[i][:0]
-		s.dirty[i] = false
+	// Targeted reset: only nodes the previous run disturbed hold state.
+	for _, id := range s.touched {
+		s.waves[id] = s.waves[id][:0]
+		s.dirty[id] = false
+		s.marked[id] = false
 	}
+	s.touched = s.touched[:0]
 	if strike.Widths != nil && len(strike.Widths) != len(strike.Gates) {
 		panic(fmt.Sprintf("timingsim: %d widths for %d gates", len(strike.Widths), len(strike.Gates)))
 	}
@@ -174,117 +322,257 @@ func (s *Simulator) Inject(values func(netlist.NodeID) bool, strike Strike) Resu
 		if iv.Width() < s.dm.MinPulse {
 			continue
 		}
-		s.waves[g] = xorIntervals(s.waves[g], []Interval{iv})
+		if len(s.waves[g]) == 0 {
+			s.waves[g] = append(s.waves[g], iv)
+		} else {
+			s.waves[g] = xorIntervals(s.waves[g], []Interval{iv})
+		}
 		s.dirty[g] = true
+		s.touch(g)
 	}
 
 	var res Result
-	// Propagate in topological order. A gate needs (re)evaluation if
-	// any fanin carries a waveform; its own strike contribution was
-	// seeded above and is XORed with the propagated response.
-	for _, id := range s.order {
-		node := s.nl.Node(id)
-		anyIn := false
-		for _, f := range node.Fanin {
-			if len(s.waves[f]) > 0 {
-				anyIn = true
-				break
+	if s.reference {
+		for _, id := range s.order {
+			s.evalNode(id, values, &res)
+		}
+	} else {
+		s.sweepSparse(values, &res)
+	}
+	s.latchCheck(values, &res)
+	sort.Slice(res.FlippedRegs, func(i, j int) bool { return res.FlippedRegs[i] < res.FlippedRegs[j] })
+	return res
+}
+
+// sweepSparse propagates the strike through the fanout cones of the
+// struck gates only. Single-gate strikes walk the gate's cached cone
+// schedule with a reach bound; multi-gate strikes run an event-driven
+// worklist so the walk ends as soon as every waveform has died.
+func (s *Simulator) sweepSparse(values func(netlist.NodeID) bool, res *Result) {
+	switch len(s.touched) { // only seeded gates are touched so far
+	case 0:
+		return
+	case 1:
+		s.sweepCone(s.touched[0], values, res)
+		return
+	}
+	// Worklist: a min-heap of topo positions seeded with the struck
+	// gates; a node's fanouts are enqueued only when it ends up with a
+	// surviving waveform, so dead transients cost nothing. Popping in
+	// topo-position order guarantees every fanin with a waveform is
+	// final before its consumers evaluate.
+	heap := s.heapBuf[:0]
+	visit := s.visitBuf[:0]
+	for _, g := range s.touched {
+		s.inSched[g] = true
+		visit = append(visit, g)
+		heap = heapPush(heap, s.topoPos[g])
+	}
+	for len(heap) > 0 {
+		var pos int32
+		heap, pos = heapPop(heap)
+		id := s.order[pos]
+		s.evalNode(id, values, res)
+		if len(s.waves[id]) > 0 {
+			for _, fo := range s.combFanout[id] {
+				if !s.inSched[fo] {
+					s.inSched[fo] = true
+					visit = append(visit, fo)
+					heap = heapPush(heap, s.topoPos[fo])
+				}
 			}
 		}
-		if !anyIn {
-			if len(s.waves[id]) > 0 {
-				res.ActiveGates++
-			}
-			continue
+	}
+	for _, id := range visit {
+		s.inSched[id] = false
+	}
+	s.heapBuf = heap
+	s.visitBuf = visit[:0]
+}
+
+// sweepCone walks a single struck gate's cached cone schedule, stopping
+// once the walk passes the furthest position any surviving waveform can
+// still reach (maxReach): beyond it every remaining schedule node has
+// fault-free fanins.
+func (s *Simulator) sweepCone(g netlist.NodeID, values func(netlist.NodeID) bool, res *Result) {
+	sched := s.coneSchedule(g)
+	maxReach := s.topoPos[g]
+	for _, id := range sched {
+		if s.topoPos[id] > maxReach {
+			break
 		}
+		s.evalNode(id, values, res)
+		if len(s.waves[id]) > 0 {
+			if mf := s.maxFanoutPos[id]; mf > maxReach {
+				maxReach = mf
+			}
+		}
+	}
+}
+
+func heapPush(h []int32, x int32) []int32 {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func heapPop(h []int32) ([]int32, int32) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			c = r
+		}
+		if h[i] <= h[c] {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return h, top
+}
+
+// evalNode (re)evaluates one combinational node of the sweep: if any
+// fanin carries a waveform the output response is propagated and
+// conditioned; a struck node XORs its own deposit with the response.
+func (s *Simulator) evalNode(id netlist.NodeID, values func(netlist.NodeID) bool, res *Result) {
+	node := s.nl.Node(id)
+	anyIn := false
+	for _, f := range node.Fanin {
+		if len(s.waves[f]) > 0 {
+			anyIn = true
+			break
+		}
+	}
+	if anyIn {
 		prop := s.propagate(id, values)
-		prop = conditionWith(prop, s.Delay(id), s.dm.Attenuation, s.dm.MinPulse)
+		prop = conditionWith(prop, s.delays[id], s.dm.Attenuation, s.dm.MinPulse)
 		if s.dirty[id] {
 			// Struck gate: its own deposited pulse is combined
 			// with whatever arrives through its inputs.
 			s.waves[id] = xorIntervals(s.waves[id], prop)
 		} else {
-			s.waves[id] = prop
-		}
-		if len(s.waves[id]) > 0 {
-			res.ActiveGates++
+			s.waves[id] = append(s.waves[id][:0], prop...)
 		}
 	}
+	if len(s.waves[id]) > 0 {
+		res.ActiveGates++
+		s.touch(id)
+	}
+}
 
-	// Latching check per register. Clock-gated registers whose enable
-	// is low this cycle require a much wider transient (direct
-	// storage-node upset instead of a clocked capture).
+// coneSchedule returns the topo-sorted combinational fanout cone of a
+// gate (the gate itself included), computing and caching it on first
+// use.
+func (s *Simulator) coneSchedule(g netlist.NodeID) []netlist.NodeID {
+	if sched := s.cones.get(g); sched != nil {
+		return sched
+	}
+	seen := make(map[netlist.NodeID]bool)
+	cone := []netlist.NodeID{g}
+	seen[g] = true
+	for head := 0; head < len(cone); head++ {
+		for _, fo := range s.combFanout[cone[head]] {
+			if !seen[fo] {
+				seen[fo] = true
+				cone = append(cone, fo)
+			}
+		}
+	}
+	slices.SortFunc(cone, func(a, b netlist.NodeID) int {
+		return int(s.topoPos[a]) - int(s.topoPos[b])
+	})
+	return s.cones.put(g, cone)
+}
+
+// latchCheck performs the latching decision per register whose D input
+// carries a transient. Clock-gated registers whose enable is low this
+// cycle require a much wider transient (direct storage-node upset
+// instead of a clocked capture).
+func (s *Simulator) latchCheck(values func(netlist.NodeID) bool, res *Result) {
 	gf := s.dm.GatedWindowFactor
 	if gf < 1 {
 		gf = 1
 	}
-	for _, r := range s.nl.Regs() {
-		node := s.nl.Node(r)
-		d := node.Fanin[0]
+	for _, d := range s.touched {
 		w := s.waves[d]
 		if len(w) == 0 {
 			continue
 		}
-		res.ReachedRegs++
-		setup, hold := s.dm.Setup, s.dm.Hold
-		if node.En != netlist.Invalid && !values(node.En) {
-			setup *= gf
-			hold *= gf
-		}
-		winStart := s.dm.ClockPeriod - setup
-		winEnd := s.dm.ClockPeriod + hold
-		for _, iv := range w {
-			if iv.Start <= winStart && iv.End >= winEnd {
-				res.FlippedRegs = append(res.FlippedRegs, r)
-				break
+		for _, r := range s.regFanout[d] {
+			node := s.nl.Node(r)
+			res.ReachedRegs++
+			setup, hold := s.dm.Setup, s.dm.Hold
+			if node.En != netlist.Invalid && !values(node.En) {
+				setup *= gf
+				hold *= gf
+			}
+			winStart := s.dm.ClockPeriod - setup
+			winEnd := s.dm.ClockPeriod + hold
+			for _, iv := range w {
+				if iv.Start <= winStart && iv.End >= winEnd {
+					res.FlippedRegs = append(res.FlippedRegs, r)
+					break
+				}
 			}
 		}
 	}
-	sort.Slice(res.FlippedRegs, func(i, j int) bool { return res.FlippedRegs[i] < res.FlippedRegs[j] })
-	return res
 }
 
 // propagate computes the fault waveform at a gate's output (before
 // delay/attenuation) from its fanin waveforms by sweeping the combined
 // event points: within each span between events, every fanin has a
 // constant flip state, so the output flip state is a single cell
-// evaluation against the fault-free values.
+// evaluation against the fault-free values. The returned slice is
+// scratch owned by the simulator, valid until the next propagate call.
 func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) bool) []Interval {
 	node := s.nl.Node(id)
 	fi := node.Fanin
 
 	// Gather event points.
-	var events []float64
+	events := s.events[:0]
 	for _, f := range fi {
 		for _, iv := range s.waves[f] {
 			events = append(events, iv.Start, iv.End)
 		}
 	}
+	s.events = events
 	if len(events) == 0 {
 		return nil
 	}
 	sort.Float64s(events)
 	events = dedupFloats(events)
 
-	nominalOut := evalBool(node.Type, fi, values, nil)
-	var out []Interval
+	nominalOut := s.evalCell(node.Type, fi, values, nil)
+	flips := s.flips[:len(fi)]
+	out := s.propBuf[:0]
 	// Evaluate within each span [events[i], events[i+1]).
-	flipped := make(map[netlist.NodeID]bool, len(fi))
 	for i := 0; i+1 < len(events); i++ {
 		mid := (events[i] + events[i+1]) / 2
-		for k := range flipped {
-			delete(flipped, k)
+		for j, f := range fi {
+			flips[j] = covered(s.waves[f], mid)
 		}
-		for _, f := range fi {
-			if covered(s.waves[f], mid) {
-				flipped[f] = true
-			}
-		}
-		v := evalBool(node.Type, fi, values, flipped)
-		if v != nominalOut {
+		if s.evalCell(node.Type, fi, values, flips) != nominalOut {
 			out = appendMerged(out, Interval{events[i], events[i+1]})
 		}
 	}
+	s.propBuf = out
 	return out
 }
 
@@ -302,21 +590,24 @@ func conditionWith(w []Interval, delay, att, minPulse float64) []Interval {
 	return out
 }
 
-// evalBool evaluates a cell with fault-free values, applying the given
-// set of flipped fanins.
-func evalBool(t netlist.CellType, fanin []netlist.NodeID, values func(netlist.NodeID) bool, flipped map[netlist.NodeID]bool) bool {
+// evalCell evaluates a cell with fault-free values; flips, when non-nil,
+// is parallel to fanin and marks inputs to invert.
+func (s *Simulator) evalCell(t netlist.CellType, fanin []netlist.NodeID, values func(netlist.NodeID) bool, flips []bool) bool {
 	var in [8]uint64
-	args := in[:len(fanin)]
+	args := in[:]
 	if len(fanin) > len(in) {
-		args = make([]uint64, len(fanin))
+		args = s.argBuf
 	}
+	args = args[:len(fanin)]
 	for i, f := range fanin {
 		v := values(f)
-		if flipped[f] {
+		if flips != nil && flips[i] {
 			v = !v
 		}
 		if v {
 			args[i] = 1
+		} else {
+			args[i] = 0
 		}
 	}
 	return netlist.EvalCell(t, args)&1 == 1

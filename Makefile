@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke
+.PHONY: build test race bench bench-smoke lint fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,27 @@ test:
 
 race:
 	$(GO) test -race ./internal/montecarlo/... ./internal/timingsim/... ./internal/logicsim/... ./internal/stats/... ./internal/sampling/...
+
+# lint runs the full static-analysis stack: go vet, the project's custom
+# determinism analyzers (cmd/vetall), the netlist/model linter over the
+# shipped circuits and the built-in MPU, and — when the binaries are
+# installed — staticcheck and govulncheck. The last two are gated on
+# availability so lint works in hermetic build environments; CI installs
+# them explicitly.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/vetall
+	$(GO) run ./cmd/netlint examples/circuits/*.gnl
+	$(GO) run ./cmd/netlint -builtin
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
+
+# fuzz-smoke gives the serializer fuzz target a short budget: enough to
+# catch parser regressions without stalling CI.
+fuzz-smoke:
+	$(GO) test ./internal/netlist/ -fuzz FuzzNetlistDeserialize -fuzztime=20s
 
 # bench regenerates BENCH_runonce.json, the committed perf record of the
 # per-run hot path (ns/op + allocs/op for RunOnce, GateInjection, RTLCycle).

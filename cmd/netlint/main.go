@@ -1,0 +1,134 @@
+// Command netlint is the static verification front-end: it runs the
+// internal/modelcheck linter over gate-level netlists (.gnl files) or
+// over the built-in MPU model, and reports every finding with its
+// stable check ID, severity, and location.
+//
+// Files are parsed with netlist.ReadUnchecked, so structurally broken
+// circuits — the ones worth linting — are loaded and diagnosed instead
+// of being rejected at the parser.
+//
+// Usage:
+//
+//	netlint [-json] [-fail-on=info|warn|error] file.gnl ...
+//	netlint -builtin            # lint the built-in MPU model
+//
+// Exit status: 0 when no finding reaches the -fail-on severity, 1 when
+// one does, 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/modelcheck"
+	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/soc"
+)
+
+// target is one lint subject and its report, for -json output.
+type target struct {
+	Name   string             `json:"name"`
+	Report *modelcheck.Report `json:"report"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	failOnName := flag.String("fail-on", "error", "lowest severity that causes exit status 1: info | warn | error")
+	builtin := flag.Bool("builtin", false, "lint the built-in MPU model (placement + responding signals) instead of files")
+	maxDepth := flag.Int("max-depth", 50, "unroll window for the responding-cone check (-builtin only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: netlint [flags] file.gnl ...\n       netlint -builtin\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	failOn, err := modelcheck.ParseSeverity(*failOnName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netlint:", err)
+		os.Exit(2)
+	}
+	if *builtin == (flag.NArg() > 0) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var targets []target
+	if *builtin {
+		t, err := lintBuiltin(*maxDepth)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netlint:", err)
+			os.Exit(2)
+		}
+		targets = append(targets, t)
+	} else {
+		for _, path := range flag.Args() {
+			t, err := lintFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "netlint:", err)
+				os.Exit(2)
+			}
+			targets = append(targets, t)
+		}
+	}
+
+	failed := false
+	for _, t := range targets {
+		if t.Report.HasAtLeast(failOn) {
+			failed = true
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(targets); err != nil {
+			fmt.Fprintln(os.Stderr, "netlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, t := range targets {
+			for _, f := range t.Report.Findings {
+				fmt.Printf("%s: %s\n", t.Name, f)
+			}
+		}
+		if !failed {
+			fmt.Printf("netlint: %d target(s) clean at fail-on=%s\n", len(targets), failOn)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lintFile parses one .gnl file without validation and runs the
+// netlist-structural checks over it.
+func lintFile(path string) (target, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return target{}, err
+	}
+	defer fh.Close()
+	n, err := netlist.ReadUnchecked(fh)
+	if err != nil {
+		return target{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return target{Name: path, Report: modelcheck.CheckNetlist(n)}, nil
+}
+
+// lintBuiltin elaborates the built-in MPU, places it, and runs the full
+// model-level check set over it.
+func lintBuiltin(maxDepth int) (target, error) {
+	mpu, err := soc.BuildMPU(soc.DefaultMPUConfig())
+	if err != nil {
+		return target{}, fmt.Errorf("building MPU: %w", err)
+	}
+	report := modelcheck.CheckModel(modelcheck.Model{
+		Netlist:    mpu.Netlist,
+		Place:      placement.Place(mpu.Netlist),
+		Responding: mpu.RespondingSignals,
+		MaxDepth:   maxDepth,
+	})
+	return target{Name: "builtin:mpu", Report: report}, nil
+}

@@ -1,0 +1,133 @@
+// Command vetall runs the project's custom determinism analyzers
+// (tools/analyzers) over the module source tree:
+//
+//   - norandglobal — everywhere: the shared global math/rand source is
+//     banned outside tests.
+//   - noallochot — everywhere: allocations inside //hot loops.
+//   - nowallclock — only in the simulation packages, where host-clock
+//     reads would make behaviour machine-dependent.
+//
+// It prints one line per finding and exits 1 when there are any, so
+// `make lint` and CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/tools/analyzers"
+)
+
+// simulationDirs lists the package directories (relative to the module
+// root, slash-separated) whose behaviour must not depend on the host
+// clock.
+var simulationDirs = map[string]bool{
+	"internal/analytical":  true,
+	"internal/core":        true,
+	"internal/experiments": true,
+	"internal/fault":       true,
+	"internal/harden":      true,
+	"internal/logicsim":    true,
+	"internal/montecarlo":  true,
+	"internal/netlist":     true,
+	"internal/precharac":   true,
+	"internal/sampling":    true,
+	"internal/soc":         true,
+	"internal/timingsim":   true,
+}
+
+func main() {
+	root := flag.String("root", "", "module root to scan (default: walk up from cwd to go.mod)")
+	flag.Parse()
+	if *root == "" {
+		r, err := findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vetall:", err)
+			os.Exit(2)
+		}
+		*root = r
+	}
+
+	dirs, err := goPackageDirs(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetall:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(*root, dir)
+		if err != nil {
+			rel = dir
+		}
+		rel = filepath.ToSlash(rel)
+		set := []*analyzers.Analyzer{analyzers.NoRandGlobal, analyzers.NoAllocHot}
+		if simulationDirs[rel] {
+			set = append(set, analyzers.NoWallClock)
+		}
+		fset := token.NewFileSet()
+		files, err := analyzers.ParseDir(fset, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vetall:", err)
+			os.Exit(2)
+		}
+		for _, d := range analyzers.Run(fset, files, set) {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("vetall: no findings")
+}
+
+// findModuleRoot walks up from the working directory to the directory
+// holding go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// goPackageDirs returns every directory under root that directly
+// contains .go files, skipping VCS metadata and testdata trees.
+func goPackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != root || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}

@@ -1,8 +1,6 @@
 package hdl
 
 import (
-	"fmt"
-
 	"repro/internal/netlist"
 )
 
@@ -39,9 +37,13 @@ func (b *Builder) fullAdder(x, y, cin Signal) (Signal, Signal) {
 
 // AddC returns x + y + cin and the carry-out. cin must be 1 bit.
 func (b *Builder) AddC(x, y Signal, cin Signal) (sum Signal, cout Signal) {
-	w := b.checkSameWidth("ADD", x, y)
+	w, ok := b.checkSameWidth("ADD", x, y)
 	if cin.Width() != 1 {
-		panic("hdl: AddC carry-in must be 1 bit")
+		b.fail("AddC carry-in must be 1 bit, got %d", cin.Width())
+		ok = false
+	}
+	if !ok {
+		return b.placeholder(w), b.placeholder(1)
 	}
 	sum = make(Signal, w)
 	c := cin
@@ -72,14 +74,12 @@ func (b *Builder) Inc(x Signal) Signal {
 
 // Eq returns a 1-bit signal: 1 iff x == y.
 func (b *Builder) Eq(x, y Signal) Signal {
-	b.checkSameWidth("EQ", x, y)
 	xn := b.bitwise(cellXnor, x, y)
 	return b.AndAll(xn)
 }
 
 // Ne returns a 1-bit signal: 1 iff x != y.
 func (b *Builder) Ne(x, y Signal) Signal {
-	b.checkSameWidth("NE", x, y)
 	xo := b.bitwise(cellXor, x, y)
 	return b.OrAll(xo)
 }
@@ -87,7 +87,6 @@ func (b *Builder) Ne(x, y Signal) Signal {
 // Ltu returns a 1-bit signal: 1 iff x < y, unsigned. Implemented as the
 // inverted carry-out of x + ~y + 1.
 func (b *Builder) Ltu(x, y Signal) Signal {
-	b.checkSameWidth("LTU", x, y)
 	_, cout := b.AddC(x, b.Not(y), b.Const(1, 1))
 	return b.Not(cout)
 }
@@ -110,7 +109,8 @@ func (b *Builder) Gtu(x, y Signal) Signal { return b.Ltu(y, x) }
 func (b *Builder) Decoder(sel Signal) Signal {
 	w := sel.Width()
 	if w > 16 {
-		panic(fmt.Sprintf("hdl: Decoder width %d too large", w))
+		b.fail("Decoder width %d too large (max 16)", w)
+		return b.placeholder(1)
 	}
 	out := make(Signal, 1<<uint(w))
 	inv := b.Not(sel)
@@ -132,10 +132,18 @@ func (b *Builder) Decoder(sel Signal) Signal {
 // multiplexer. All choices must share a width; onehot width must equal
 // the number of choices.
 func (b *Builder) SelectOneHot(onehot Signal, choices []Signal) Signal {
-	if onehot.Width() != len(choices) {
-		panic(fmt.Sprintf("hdl: SelectOneHot %d selects, %d choices", onehot.Width(), len(choices)))
+	if len(choices) == 0 {
+		b.fail("SelectOneHot with no choices")
+		return b.placeholder(1)
 	}
-	w := b.checkSameWidth("SELECT", choices...)
+	if onehot.Width() != len(choices) {
+		b.fail("SelectOneHot %d selects, %d choices", onehot.Width(), len(choices))
+		return b.placeholder(choices[0].Width())
+	}
+	w, ok := b.checkSameWidth("SELECT", choices...)
+	if !ok {
+		return b.placeholder(w)
+	}
 	masked := make([]Signal, len(choices))
 	for i, c := range choices {
 		sel := make(Signal, w)
@@ -153,7 +161,8 @@ func (b *Builder) SelectOneHot(onehot Signal, choices []Signal) Signal {
 // ZeroExtend widens x to the given width by appending constant zeros.
 func (b *Builder) ZeroExtend(x Signal, width int) Signal {
 	if x.Width() > width {
-		panic(fmt.Sprintf("hdl: ZeroExtend to narrower width %d < %d", width, x.Width()))
+		b.fail("ZeroExtend to narrower width %d < %d", width, x.Width())
+		return b.placeholder(width)
 	}
 	out := append(Signal(nil), x...)
 	for len(out) < width {
@@ -166,7 +175,8 @@ func (b *Builder) ZeroExtend(x Signal, width int) Signal {
 // the single-bit x.
 func (b *Builder) Repeat(x Signal, width int) Signal {
 	if x.Width() != 1 {
-		panic("hdl: Repeat source must be 1 bit")
+		b.fail("Repeat source must be 1 bit, got %d", x.Width())
+		return b.placeholder(width)
 	}
 	out := make(Signal, width)
 	for i := range out {

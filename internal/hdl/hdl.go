@@ -54,6 +54,13 @@ type Reg struct {
 }
 
 // Builder incrementally constructs a netlist.
+//
+// Misuse (width mismatches, malformed selects, out-of-range operators)
+// does not panic: the builder records the first such error, the failed
+// operation returns a structurally valid placeholder signal so wiring
+// code can continue without per-call error checks, and Build (or Err)
+// reports the recorded error. Only Signal-level slicing (Bits) keeps
+// Go slice semantics and panics on out-of-range indices.
 type Builder struct {
 	n       *netlist.Netlist
 	zero    netlist.NodeID
@@ -62,6 +69,31 @@ type Builder struct {
 	hasOne  bool
 	regs    []*Reg
 	groups  map[string][]netlist.NodeID
+	err     error
+}
+
+// fail records the first construction error. Later operations keep
+// running on placeholder signals; Build surfaces the error.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("hdl: "+format, args...)
+	}
+}
+
+// Err returns the first construction error recorded so far, or nil.
+func (b *Builder) Err() error { return b.err }
+
+// placeholder returns a structurally valid signal of the given width,
+// tied to constant 0 — the result of a failed operation.
+func (b *Builder) placeholder(width int) Signal {
+	if width < 1 {
+		width = 1
+	}
+	s := make(Signal, width)
+	for i := range s {
+		s[i] = b.constZero()
+	}
+	return s
 }
 
 // NewBuilder returns an empty builder.
@@ -136,13 +168,16 @@ func (b *Builder) Reg(name string, width int, init uint64) *Reg {
 	return r
 }
 
-// SetNext attaches the register's next-state function. Width must match.
+// SetNext attaches the register's next-state function. Width must
+// match; violations are recorded on the builder and reported by Build.
 func (r *Reg) SetNext(d Signal) {
 	if r.set {
-		panic(fmt.Sprintf("hdl: register %q next-state set twice", r.Name))
+		r.b.fail("register %q next-state set twice", r.Name)
+		return
 	}
 	if d.Width() != r.Q.Width() {
-		panic(fmt.Sprintf("hdl: register %q width %d, next-state width %d", r.Name, r.Q.Width(), d.Width()))
+		r.b.fail("register %q width %d, next-state width %d", r.Name, r.Q.Width(), d.Width())
+		return
 	}
 	for i, q := range r.Q {
 		r.b.n.Node(q).Fanin[0] = d[i]
@@ -157,7 +192,8 @@ func (r *Reg) SetNext(d Signal) {
 // low.
 func (r *Reg) SetNextEn(en Signal, d Signal) {
 	if en.Width() != 1 {
-		panic(fmt.Sprintf("hdl: register %q enable must be 1 bit", r.Name))
+		r.b.fail("register %q enable must be 1 bit, got %d", r.Name, en.Width())
+		return
 	}
 	r.SetNext(r.b.Mux(en, r.Q, d))
 	for _, q := range r.Q {
@@ -177,9 +213,13 @@ func (b *Builder) Output(name string, s Signal) {
 // its bits (LSB first). The caller must not mutate the slices.
 func (b *Builder) RegGroups() map[string][]netlist.NodeID { return b.groups }
 
-// Build finalizes the design: verifies that every register has a
-// next-state function and that the netlist is structurally valid.
+// Build finalizes the design: reports any construction error recorded
+// by earlier operations, verifies that every register has a next-state
+// function, and validates the netlist structurally.
 func (b *Builder) Build() (*netlist.Netlist, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	for _, r := range b.regs {
 		if !r.set {
 			return nil, fmt.Errorf("hdl: register %q has no next-state function", r.Name)
@@ -193,18 +233,25 @@ func (b *Builder) Build() (*netlist.Netlist, error) {
 
 // --- Bitwise operators -------------------------------------------------
 
-func (b *Builder) checkSameWidth(op string, xs ...Signal) int {
-	w := xs[0].Width()
+// checkSameWidth verifies that every operand shares one width. On a
+// mismatch it records the error and reports ok=false; the caller must
+// return a placeholder instead of indexing the operands.
+func (b *Builder) checkSameWidth(op string, xs ...Signal) (w int, ok bool) {
+	w = xs[0].Width()
 	for _, x := range xs[1:] {
 		if x.Width() != w {
-			panic(fmt.Sprintf("hdl: %s width mismatch: %d vs %d", op, w, x.Width()))
+			b.fail("%s width mismatch: %d vs %d", op, w, x.Width())
+			return w, false
 		}
 	}
-	return w
+	return w, true
 }
 
 func (b *Builder) bitwise(t netlist.CellType, xs ...Signal) Signal {
-	w := b.checkSameWidth(t.String(), xs...)
+	w, ok := b.checkSameWidth(t.String(), xs...)
+	if !ok {
+		return b.placeholder(w)
+	}
 	out := make(Signal, w)
 	fi := make([]netlist.NodeID, len(xs))
 	for i := 0; i < w; i++ {
@@ -254,9 +301,13 @@ func (b *Builder) Nor(xs ...Signal) Signal { return b.bitwise(netlist.Nor, xs...
 // selects b. sel must be 1 bit wide; a and b must have equal width.
 func (b *Builder) Mux(sel Signal, a, b2 Signal) Signal {
 	if sel.Width() != 1 {
-		panic("hdl: Mux select must be 1 bit")
+		b.fail("Mux select must be 1 bit, got %d", sel.Width())
+		return b.placeholder(a.Width())
 	}
-	w := b.checkSameWidth("MUX2", a, b2)
+	w, ok := b.checkSameWidth("MUX2", a, b2)
+	if !ok {
+		return b.placeholder(w)
+	}
 	out := make(Signal, w)
 	for i := 0; i < w; i++ {
 		out[i] = b.n.AddGate(netlist.Mux2, a[i], b2[i], sel[0])
@@ -268,7 +319,8 @@ func (b *Builder) Mux(sel Signal, a, b2 Signal) Signal {
 
 func (b *Builder) reduce(t netlist.CellType, x Signal) Signal {
 	if x.Width() == 0 {
-		panic("hdl: reduction of empty signal")
+		b.fail("reduction of empty signal")
+		return b.placeholder(1)
 	}
 	if x.Width() == 1 {
 		return Signal{x[0]}

@@ -302,39 +302,59 @@ func TestBuildRejectsUnsetReg(t *testing.T) {
 	}
 }
 
-func TestSetNextTwicePanics(t *testing.T) {
+func TestSetNextTwiceErrors(t *testing.T) {
 	b := NewBuilder()
 	r := b.Reg("r", 1, 0)
 	r.SetNext(r.Q)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
 	r.SetNext(r.Q)
+	if b.Err() == nil {
+		t.Fatal("second SetNext not recorded as error")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted double SetNext")
+	}
 }
 
-func TestWidthMismatchPanics(t *testing.T) {
+func TestWidthMismatchErrors(t *testing.T) {
+	cases := []func(b *Builder, x, y Signal){
+		func(b *Builder, x, y Signal) { b.And(x, y) },
+		func(b *Builder, x, y Signal) { b.Add(x, y) },
+		func(b *Builder, x, y Signal) { b.Mux(x, y, y) }, // sel not 1 bit
+		func(b *Builder, x, y Signal) { b.Reg("r", 4, 0).SetNext(y) },
+		func(b *Builder, x, y Signal) { b.ZeroExtend(y, 4) },
+		func(b *Builder, x, y Signal) { b.Repeat(x, 8) }, // source not 1 bit
+		func(b *Builder, x, y Signal) { b.Eq(x, y) },
+		func(b *Builder, x, y Signal) { b.Ltu(x, y) },
+		func(b *Builder, x, y Signal) { b.SelectOneHot(x, []Signal{y, y}) },
+	}
+	for i, fn := range cases {
+		b := NewBuilder()
+		x := b.Input("x", 4)
+		y := b.Input("y", 5)
+		fn(b, x, y) // must not panic
+		if b.Err() == nil {
+			t.Errorf("case %d: misuse not recorded", i)
+			continue
+		}
+		if _, err := b.Build(); err == nil {
+			t.Errorf("case %d: Build accepted misused builder", i)
+		}
+	}
+}
+
+func TestMisuseReturnsPlaceholder(t *testing.T) {
+	// A failed operation must still return a structurally valid signal
+	// so downstream wiring does not panic; only Build reports.
 	b := NewBuilder()
 	x := b.Input("x", 4)
 	y := b.Input("y", 5)
-	cases := []func(){
-		func() { b.And(x, y) },
-		func() { b.Add(x, y) },
-		func() { b.Mux(x, y, y) }, // sel not 1 bit
-		func() { b.Reg("r", 4, 0).SetNext(y) },
-		func() { b.ZeroExtend(y, 4) },
-		func() { b.Repeat(x, 8) }, // source not 1 bit
+	s := b.And(x, y)
+	if s.Width() != 4 {
+		t.Fatalf("placeholder width %d, want 4", s.Width())
 	}
-	for i, fn := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			fn()
-		}()
+	b.Output("o", b.Or(s, s)) // keep wiring after the failure
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted failed construction")
 	}
 }
 
@@ -469,15 +489,16 @@ func TestDecoderWidth4(t *testing.T) {
 	}
 }
 
-func TestDecoderTooWidePanics(t *testing.T) {
+func TestDecoderTooWideErrors(t *testing.T) {
 	b := NewBuilder()
 	x := b.Input("x", 17)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	b.Decoder(x)
+	b.Decoder(x) // must not panic
+	if b.Err() == nil {
+		t.Fatal("oversized Decoder not recorded as error")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted oversized Decoder")
+	}
 }
 
 func TestBufPreservesValue(t *testing.T) {

@@ -13,12 +13,25 @@ import (
 
 	"repro/internal/analytical"
 	"repro/internal/fault"
+	"repro/internal/modelcheck"
 	"repro/internal/netlist"
 	"repro/internal/placement"
 	"repro/internal/precharac"
 	"repro/internal/soc"
 	"repro/internal/timingsim"
 )
+
+// Options tunes engine construction.
+type Options struct {
+	// SkipModelCheck disables the static verification pass New runs
+	// over the MPU netlist and placement before building the engine.
+	// The guard only rejects error-severity findings (cycles, dangling
+	// references, multiply-driven registers) — structure the
+	// simulators cannot evaluate soundly — so skipping it never
+	// changes results on a valid design; it only removes the O(nodes)
+	// construction cost and the protection against malformed ones.
+	SkipModelCheck bool
+}
 
 // Mode selects what the strike physically hits.
 type Mode int
@@ -233,8 +246,25 @@ func (c *stateCache) put(cycle int, cp *soc.Checkpoint) {
 }
 
 // New assembles an engine. The SoC must be loaded with the attack
-// benchmark (not the synthetic pre-characterization program).
+// benchmark (not the synthetic pre-characterization program). It runs
+// the static verification layer over the design first; use
+// NewWithOptions to skip it.
 func New(s *soc.SoC, attack *fault.Attack, place *placement.Placement, dm timingsim.DelayModel, char *precharac.Characterization, eval *analytical.Evaluator) (*Engine, error) {
+	return NewWithOptions(s, attack, place, dm, char, eval, Options{})
+}
+
+// NewWithOptions is New with explicit engine options.
+func NewWithOptions(s *soc.SoC, attack *fault.Attack, place *placement.Placement, dm timingsim.DelayModel, char *precharac.Characterization, eval *analytical.Evaluator, opts Options) (*Engine, error) {
+	if !opts.SkipModelCheck {
+		report := modelcheck.CheckModel(modelcheck.Model{
+			Netlist:    s.MPU.Netlist,
+			Place:      place,
+			Responding: s.MPU.RespondingSignals,
+		})
+		if err := report.Err(modelcheck.Error); err != nil {
+			return nil, fmt.Errorf("montecarlo: design rejected by static verification: %w", err)
+		}
+	}
 	tsim, err := timingsim.New(s.MPU.Netlist, dm)
 	if err != nil {
 		return nil, err
@@ -432,6 +462,7 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 	if cycles > 1 && len(e.seen) > 0 {
 		clear(e.seen)
 	}
+	//hot
 	for c := 0; c < cycles; c++ {
 		var cycleFlips []netlist.NodeID
 		e.SoC.StepInject(func(values func(netlist.NodeID) bool) []netlist.NodeID {
@@ -447,7 +478,7 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 				var regs []netlist.NodeID
 				for _, id := range e.Place.WithinRadius(sample.Center, sample.Radius) {
 					if e.SoC.MPU.Netlist.Node(id).Type == netlist.DFF {
-						regs = append(regs, id)
+						regs = append(regs, id) //alloc-ok (register-attack mode only; small per-strike set)
 					}
 				}
 				cycleFlips = e.applyHardening(rng, regs)
@@ -456,16 +487,16 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 		})
 		if cycles == 1 {
 			// A single injection cycle cannot produce duplicates.
-			flipped = append(flipped, cycleFlips...)
+			flipped = append(flipped, cycleFlips...) //alloc-ok (reused scratch buffer)
 			break
 		}
 		for _, r := range cycleFlips {
 			if !e.seen[r] {
 				if e.seen == nil {
-					e.seen = make(map[netlist.NodeID]bool, 16)
+					e.seen = make(map[netlist.NodeID]bool, 16) //alloc-ok (lazy, once per engine)
 				}
 				e.seen[r] = true
-				flipped = append(flipped, r)
+				flipped = append(flipped, r) //alloc-ok (reused scratch buffer)
 			}
 		}
 	}

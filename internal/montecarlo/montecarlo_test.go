@@ -11,6 +11,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/montecarlo"
 	"repro/internal/netlist"
+	"repro/internal/placement"
+	"repro/internal/precharac"
 	"repro/internal/soc"
 )
 
@@ -90,6 +92,47 @@ func TestCampaignBeforeGoldenFails(t *testing.T) {
 	}
 	if _, err := eng.RunGolden(0); err == nil {
 		t.Error("zero checkpoint interval accepted")
+	}
+}
+
+// TestModelCheckGuard pins the construction-time static verification:
+// a design with an error-severity defect is rejected by New, the
+// SkipModelCheck escape hatch admits it, and precharac applies the same
+// gate.
+func TestModelCheckGuard(t *testing.T) {
+	fw := framework(t)
+	prog, _ := fw.BenchmarkProgram(core.BenchmarkIllegalWrite)
+	attack, err := fw.NewAttack(core.DefaultAttackSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A private MPU copy (the shared framework one must stay clean)
+	// with two registers sharing a name: NL009, error severity.
+	mpu, err := soc.BuildMPU(soc.DefaultMPUConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := mpu.Netlist.Regs()
+	if len(regs) < 2 {
+		t.Fatal("MPU has fewer than 2 registers")
+	}
+	mpu.Netlist.Node(regs[1]).Name = mpu.Netlist.Node(regs[0]).Name
+	s, err := soc.WithMPU(fw.Opts.SoC, prog, mpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := placement.Place(mpu.Netlist)
+
+	if _, err := montecarlo.New(s, attack, place, fw.Opts.Delay, nil, nil); err == nil {
+		t.Error("New accepted a design with an error-severity finding")
+	}
+	if _, err := montecarlo.NewWithOptions(s, attack, place, fw.Opts.Delay, nil, nil,
+		montecarlo.Options{SkipModelCheck: true}); err != nil {
+		t.Errorf("SkipModelCheck still rejected: %v", err)
+	}
+	pcOpts := fw.Opts.Precharac
+	if _, err := precharac.Characterize(s, pcOpts); err == nil {
+		t.Error("Characterize accepted a design with an error-severity finding")
 	}
 }
 

@@ -1,0 +1,78 @@
+package netlist_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/modelcheck"
+	"repro/internal/netlist"
+)
+
+// FuzzNetlistDeserialize drives both gnl readers with arbitrary input.
+// Invariants:
+//
+//   - neither reader panics, whatever the bytes;
+//   - a netlist accepted by the validating reader survives a
+//     Write/Read round-trip unchanged in shape;
+//   - the static linter accepts any ReadUnchecked result without
+//     panicking (its contract is to diagnose broken structure, not
+//     crash on it).
+func FuzzNetlistDeserialize(f *testing.F) {
+	// Seed with the shipped example circuits and the linter's broken
+	// fixtures, so the fuzzer starts from both sides of validity.
+	for _, dir := range []string{
+		filepath.Join("..", "..", "examples", "circuits"),
+		filepath.Join("..", "modelcheck", "testdata", "broken"),
+	} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".gnl") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(data))
+		}
+	}
+	f.Add("gnl v1\n")
+	f.Add("gnl v1\n0 input \"a[0]\"\n1 inv 0\nout \"y[0]\" 1\n")
+	f.Add("gnl v1\n0 const1\n1 dff 1 init=1 en=0 \"r[0]\"\n")
+	f.Add("gnl v1\n0 and 0 0\n")
+	f.Add("not a netlist")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := netlist.Read(strings.NewReader(src))
+		if err == nil {
+			if verr := n.Validate(); verr != nil {
+				t.Fatalf("Read accepted a netlist failing Validate: %v", verr)
+			}
+			var buf bytes.Buffer
+			if werr := netlist.Write(&buf, n); werr != nil {
+				t.Fatalf("Write failed on an accepted netlist: %v", werr)
+			}
+			n2, rerr := netlist.Read(bytes.NewReader(buf.Bytes()))
+			if rerr != nil {
+				t.Fatalf("round-trip Read failed: %v\n%s", rerr, buf.String())
+			}
+			if n2.NumNodes() != n.NumNodes() || len(n2.Outputs()) != len(n.Outputs()) ||
+				len(n2.Inputs()) != len(n.Inputs()) || len(n2.Regs()) != len(n.Regs()) {
+				t.Fatalf("round-trip changed shape: %d/%d nodes, %d/%d outs",
+					n2.NumNodes(), n.NumNodes(), len(n2.Outputs()), len(n.Outputs()))
+			}
+		}
+		raw, err := netlist.ReadUnchecked(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// The linter must survive whatever the unchecked reader yields.
+		_ = modelcheck.CheckNetlist(raw)
+	})
+}

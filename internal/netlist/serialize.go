@@ -20,8 +20,10 @@ import (
 //	out "grant[0]" 2
 //
 // Node lines start with the node id and must appear in id order
-// starting at 0. Fanins may reference any id (DFF data/enable nets
-// legitimately point forward). Names are optional quoted strings.
+// starting at 0. Only DFF data/enable nets may reference a higher id
+// (registers legitimately close cycles); combinational fanins must
+// point backwards, making the id order a topological order. Names are
+// optional quoted strings.
 
 const gnlHeader = "gnl v1"
 
@@ -69,8 +71,28 @@ func Write(w io.Writer, n *Netlist) error {
 }
 
 // Read parses a netlist written by Write (or by hand/another tool in
-// the same format) and validates it structurally.
+// the same format) and validates it structurally: cell types, fanin
+// arities, reference ranges, and combinational acyclicity are all
+// verified before the netlist is returned, so a malformed file yields a
+// descriptive error here instead of a panic (or silent corruption) in a
+// downstream simulator.
 func Read(r io.Reader) (*Netlist, error) {
+	return read(r, true)
+}
+
+// ReadUnchecked parses the same format but skips every semantic
+// validation beyond tokenization: unknown-but-parseable structure
+// (dangling references, bad arities, combinational cycles) is preserved
+// in the returned netlist. It exists for the static verification layer
+// (internal/modelcheck, cmd/netlint), which wants to load a broken
+// circuit and report findings rather than refuse it at parse time. The
+// returned netlist may violate every structural invariant; do not hand
+// it to a simulator without a clean modelcheck report.
+func ReadUnchecked(r io.Reader) (*Netlist, error) {
+	return read(r, false)
+}
+
+func read(r io.Reader, checked bool) (*Netlist, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lineNo := 0
@@ -176,34 +198,12 @@ func Read(r io.Reader) (*Netlist, error) {
 		nodes = append(nodes, rn)
 	}
 
-	// Build with placeholder-free construction: create in order, then
-	// patch forward references (DFF data and enables may point ahead).
-	n := New(len(nodes))
-	for i, rn := range nodes {
-		switch rn.typ {
-		case Input:
-			n.AddInput(rn.name)
-		case Const0:
-			n.AddConst(false)
-		case Const1:
-			n.AddConst(true)
-		case DFF:
-			if len(rn.fanin) != 1 {
-				return nil, fmt.Errorf("gnl node %d: dff wants 1 fanin", i)
-			}
-			// Temporary self-free placeholder: use node 0 if the
-			// data net is a forward reference.
-			d := rn.fanin[0]
-			if int(d) >= i {
-				d = 0
-				if i == 0 {
-					return nil, fmt.Errorf("gnl node 0: dff cannot be the first node")
-				}
-			}
-			n.AddDFF(d, rn.name, rn.init)
-		default:
-			// Untrusted input: check arity here rather than relying
-			// on AddGate's programming-error panic.
+	// Semantic validation (checked mode). The parser above only
+	// tokenizes; the structural rules are verified here so a malformed
+	// file produces a descriptive, node-addressed error instead of a
+	// netlist that fails (or panics) somewhere downstream.
+	if checked {
+		for i, rn := range nodes {
 			if want := rn.typ.FaninCount(); want >= 0 {
 				if len(rn.fanin) != want {
 					return nil, fmt.Errorf("gnl node %d: %v wants %d fanins, got %d", i, rn.typ, want, len(rn.fanin))
@@ -211,50 +211,63 @@ func Read(r io.Reader) (*Netlist, error) {
 			} else if len(rn.fanin) < 2 {
 				return nil, fmt.Errorf("gnl node %d: %v wants at least 2 fanins, got %d", i, rn.typ, len(rn.fanin))
 			}
-			fi := make([]NodeID, len(rn.fanin))
-			for j, f := range rn.fanin {
-				if int(f) >= i {
-					fi[j] = 0
-					if i == 0 {
-						return nil, fmt.Errorf("gnl node 0: gate cannot be the first node")
-					}
-				} else {
-					fi[j] = f
+			if rn.typ != DFF && (rn.init || rn.en != Invalid) {
+				return nil, fmt.Errorf("gnl node %d: init=/en= are only valid on dff, not %v", i, rn.typ)
+			}
+			for _, f := range rn.fanin {
+				if f < 0 || int(f) >= len(nodes) {
+					return nil, fmt.Errorf("gnl node %d: fanin %d out of range [0,%d)", i, f, len(nodes))
+				}
+				if rn.typ.IsCombinational() && int(f) >= i {
+					// Only DFF data/enable nets may point forward;
+					// combinational ids are a topological order.
+					return nil, fmt.Errorf("gnl node %d: %v fanin %d is a forward reference", i, rn.typ, f)
 				}
 			}
-			id := n.AddGate(rn.typ, fi...)
-			if rn.name != "" {
-				n.SetName(id, rn.name)
+			if rn.typ == DFF && rn.en != Invalid && (rn.en < 0 || int(rn.en) >= len(nodes)) {
+				return nil, fmt.Errorf("gnl node %d: enable %d out of range [0,%d)", i, rn.en, len(nodes))
+			}
+		}
+		for _, o := range outs {
+			if o.node < 0 || int(o.node) >= len(nodes) {
+				return nil, fmt.Errorf("gnl output %q: node %d out of range [0,%d)", o.name, o.node, len(nodes))
 			}
 		}
 	}
-	// Patch the real fanins and enables now that every id exists.
-	for i, rn := range nodes {
-		node := n.Node(NodeID(i))
-		for j, f := range rn.fanin {
-			if int(f) < 0 || int(f) >= len(nodes) {
-				return nil, fmt.Errorf("gnl node %d: fanin %d out of range", i, f)
-			}
-			node.Fanin[j] = f
+
+	// Raw construction: nodes are appended directly instead of going
+	// through the public construction API, whose misuse panics would
+	// defeat unchecked mode's purpose of preserving broken structure
+	// for the linter (and which cannot express forward references
+	// without placeholder patching).
+	n := New(len(nodes))
+	for _, rn := range nodes {
+		node := Node{Type: rn.typ, Name: rn.name, En: Invalid}
+		if len(rn.fanin) > 0 {
+			node.Fanin = append([]NodeID(nil), rn.fanin...)
 		}
-		if rn.typ == DFF && rn.en != Invalid {
-			if int(rn.en) < 0 || int(rn.en) >= len(nodes) {
-				return nil, fmt.Errorf("gnl node %d: enable %d out of range", i, rn.en)
-			}
-			n.SetDFFEnable(NodeID(i), rn.en)
+		if rn.typ == DFF {
+			node.Init = rn.init
+			node.En = rn.en
+		}
+		id := n.add(node)
+		switch rn.typ {
+		case Input:
+			n.inputs = append(n.inputs, id)
+		case DFF:
+			n.regs = append(n.regs, id)
 		}
 	}
 	for _, o := range outs {
-		if int(o.node) < 0 || int(o.node) >= len(nodes) {
-			return nil, fmt.Errorf("gnl output %q: node %d out of range", o.name, o.node)
-		}
-		n.AddOutput(o.name, o.node)
+		n.outputs = append(n.outputs, Port{Name: o.name, Node: o.node})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if err := n.Validate(); err != nil {
-		return nil, fmt.Errorf("gnl: %v", err)
+	if checked {
+		if err := n.Validate(); err != nil {
+			return nil, fmt.Errorf("gnl: %v", err)
+		}
 	}
 	return n, nil
 }

@@ -117,6 +117,9 @@ func legalize(relaxed []Point, out []Point, cols, rows int) {
 // At returns the placed location of a node.
 func (p *Placement) At(id netlist.NodeID) Point { return p.points[id] }
 
+// NumPlaced returns the number of nodes the placement covers.
+func (p *Placement) NumPlaced() int { return len(p.points) }
+
 // Bounds returns the placement extent in cell pitches.
 func (p *Placement) Bounds() (w, h float64) {
 	return float64(p.cols - 1), float64(p.rows - 1)

@@ -368,6 +368,7 @@ func (s *Simulator) sweepSparse(values func(netlist.NodeID) bool, res *Result) {
 		visit = append(visit, g)
 		heap = heapPush(heap, s.topoPos[g])
 	}
+	//hot
 	for len(heap) > 0 {
 		var pos int32
 		heap, pos = heapPop(heap)
@@ -377,7 +378,7 @@ func (s *Simulator) sweepSparse(values func(netlist.NodeID) bool, res *Result) {
 			for _, fo := range s.combFanout[id] {
 				if !s.inSched[fo] {
 					s.inSched[fo] = true
-					visit = append(visit, fo)
+					visit = append(visit, fo) //alloc-ok (reused buffer, growth amortizes)
 					heap = heapPush(heap, s.topoPos[fo])
 				}
 			}
@@ -397,6 +398,7 @@ func (s *Simulator) sweepSparse(values func(netlist.NodeID) bool, res *Result) {
 func (s *Simulator) sweepCone(g netlist.NodeID, values func(netlist.NodeID) bool, res *Result) {
 	sched := s.coneSchedule(g)
 	maxReach := s.topoPos[g]
+	//hot
 	for _, id := range sched {
 		if s.topoPos[id] > maxReach {
 			break
@@ -510,6 +512,7 @@ func (s *Simulator) latchCheck(values func(netlist.NodeID) bool, res *Result) {
 	if gf < 1 {
 		gf = 1
 	}
+	//hot
 	for _, d := range s.touched {
 		w := s.waves[d]
 		if len(w) == 0 {
@@ -527,7 +530,7 @@ func (s *Simulator) latchCheck(values func(netlist.NodeID) bool, res *Result) {
 			winEnd := s.dm.ClockPeriod + hold
 			for _, iv := range w {
 				if iv.Start <= winStart && iv.End >= winEnd {
-					res.FlippedRegs = append(res.FlippedRegs, r)
+					res.FlippedRegs = append(res.FlippedRegs, r) //alloc-ok (result slice, reset per Inject)
 					break
 				}
 			}
@@ -563,6 +566,7 @@ func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) boo
 	flips := s.flips[:len(fi)]
 	out := s.propBuf[:0]
 	// Evaluate within each span [events[i], events[i+1]).
+	//hot
 	for i := 0; i+1 < len(events); i++ {
 		mid := (events[i] + events[i+1]) / 2
 		for j, f := range fi {

@@ -1,0 +1,169 @@
+// Package analyzers hosts the project's custom static analyzers and a
+// minimal driver framework for them. The framework mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Reportf) but is
+// built only on the standard library's go/ast, go/parser and go/token,
+// because the build environment vendors no external modules.
+//
+// The analyzers enforce the determinism contract of the simulation
+// packages: fixed-seed campaigns must be bit-identical across runs, so
+// shared global randomness and wall-clock reads are banned there, and
+// loops on the sampling hot path must not allocate.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+// String formats the diagnostic in the familiar file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Msg)
+}
+
+// File is one parsed source file plus the metadata analyzers filter on.
+type File struct {
+	AST *ast.File
+	// Path is the file's path as given to ParseDir (slash-separated for
+	// matching, even on Windows).
+	Path string
+	// Test reports whether the file name ends in _test.go.
+	Test bool
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one analyzer the files of one package directory and
+// collects its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*File
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at the given position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// ParseDir parses every .go file directly inside dir (non-recursive),
+// with comments, and returns them sorted by name.
+func ParseDir(fset *token.FileSet, dir string) ([]*File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, &File{
+			AST:  f,
+			Path: filepath.ToSlash(path),
+			Test: strings.HasSuffix(e.Name(), "_test.go"),
+		})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+	return files, nil
+}
+
+// ParseSource parses one in-memory file; the test harness for the
+// analyzers uses it.
+func ParseSource(fset *token.FileSet, name, src string) (*File, error) {
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return &File{AST: f, Path: filepath.ToSlash(name), Test: strings.HasSuffix(name, "_test.go")}, nil
+}
+
+// Run applies every analyzer to the files and returns the combined
+// diagnostics sorted by position.
+func Run(fset *token.FileSet, files []*File, as []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range as {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, diags: &diags}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Offset < b.Offset
+	})
+	return diags
+}
+
+// importedAs returns the local name under which the file imports the
+// package path ("" and false when it does not). A dot or blank import
+// returns false: neither produces pkg.Selector expressions.
+func importedAs(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		// Default name: the last path element.
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p, true
+	}
+	return "", false
+}
+
+// commentLines returns the set of lines holding a comment whose first
+// word is marker (e.g. "hot" for //hot; trailing rationale after the
+// marker is allowed, as in "//alloc-ok (reused buffer)").
+func commentLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+			if fields := strings.Fields(text); len(fields) > 0 && fields[0] == marker {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

@@ -1,0 +1,162 @@
+package analyzers
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// runOn parses one in-memory file under the given name and applies one
+// analyzer, returning the diagnostic messages.
+func runOn(t *testing.T, a *Analyzer, name, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := ParseSource(fset, name, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Run(fset, []*File{f}, []*Analyzer{a})
+}
+
+func TestNoRandGlobalFlagsGlobalSource(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f() int { return rand.Intn(10) }
+`
+	diags := runOn(t, NoRandGlobal, "p/f.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "rand.Intn") {
+		t.Fatalf("want one rand.Intn finding, got %v", diags)
+	}
+}
+
+func TestNoRandGlobalAllowsPrivateSource(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func g(r *rand.Rand) int { return r.Intn(10) }
+`
+	if diags := runOn(t, NoRandGlobal, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("want no findings, got %v", diags)
+	}
+}
+
+func TestNoRandGlobalSkipsTests(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f() int { return rand.Intn(10) }
+`
+	if diags := runOn(t, NoRandGlobal, "p/f_test.go", src); len(diags) != 0 {
+		t.Fatalf("want no findings in a test file, got %v", diags)
+	}
+}
+
+func TestNoRandGlobalHonorsImportRename(t *testing.T) {
+	src := `package p
+import mrand "math/rand"
+func f() int { return mrand.Intn(10) }
+`
+	if diags := runOn(t, NoRandGlobal, "p/f.go", src); len(diags) != 1 {
+		t.Fatalf("want one finding through the renamed import, got %v", diags)
+	}
+}
+
+func TestNoWallClockFlagsNowAndSince(t *testing.T) {
+	src := `package p
+import "time"
+func f() time.Duration { return time.Since(time.Now()) }
+`
+	diags := runOn(t, NoWallClock, "internal/timingsim/f.go", src)
+	if len(diags) != 2 {
+		t.Fatalf("want Now and Since findings, got %v", diags)
+	}
+}
+
+func TestNoWallClockAllowsDurations(t *testing.T) {
+	src := `package p
+import "time"
+const tick = 50 * time.Millisecond
+func f(d time.Duration) float64 { return d.Seconds() }
+`
+	if diags := runOn(t, NoWallClock, "internal/timingsim/f.go", src); len(diags) != 0 {
+		t.Fatalf("want no findings for duration arithmetic, got %v", diags)
+	}
+}
+
+func TestNoWallClockAllowlist(t *testing.T) {
+	src := `package p
+import "time"
+func f() time.Time { return time.Now() }
+`
+	if diags := runOn(t, NoWallClock, "internal/montecarlo/progress.go", src); len(diags) != 0 {
+		t.Fatalf("want the allowlist to suppress progress.go, got %v", diags)
+	}
+}
+
+func TestNoAllocHotFlagsAllocations(t *testing.T) {
+	src := `package p
+func f(xs []int) []int {
+	var out []int
+	//hot
+	for _, x := range xs {
+		out = append(out, x)
+		m := map[int]bool{}
+		_ = m
+		buf := make([]int, 4)
+		_ = buf
+		s := []int{x}
+		_ = s
+	}
+	return out
+}
+`
+	diags := runOn(t, NoAllocHot, "p/f.go", src)
+	if len(diags) != 4 {
+		t.Fatalf("want append/map-literal/make/slice-literal findings, got %v", diags)
+	}
+}
+
+func TestNoAllocHotSuppression(t *testing.T) {
+	src := `package p
+func f(xs []int) []int {
+	var out []int
+	//hot
+	for _, x := range xs {
+		out = append(out, x) //alloc-ok (reused buffer)
+	}
+	return out
+}
+`
+	if diags := runOn(t, NoAllocHot, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("want //alloc-ok to suppress, got %v", diags)
+	}
+}
+
+func TestNoAllocHotIgnoresUnmarkedLoops(t *testing.T) {
+	src := `package p
+func f(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+`
+	if diags := runOn(t, NoAllocHot, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("want no findings without a //hot marker, got %v", diags)
+	}
+}
+
+func TestNoAllocHotSameLineMarker(t *testing.T) {
+	src := `package p
+func f(xs []int) []int {
+	var out []int
+	for _, x := range xs { //hot
+		out = append(out, x)
+	}
+	return out
+}
+`
+	if diags := runOn(t, NoAllocHot, "p/f.go", src); len(diags) != 1 {
+		t.Fatalf("want a same-line //hot marker to arm the check, got %v", diags)
+	}
+}

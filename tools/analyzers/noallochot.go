@@ -1,0 +1,89 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NoAllocHot flags allocating expressions — append, make, and slice/map
+// composite literals — inside loops marked with a //hot comment (on the
+// line of the for statement or the line above it). The per-sample loops
+// of the Monte Carlo engine and the event sweeps of the timed simulator
+// carry the marker: an allocation there turns into garbage-collector
+// pressure multiplied by the sample count.
+//
+// A deliberate allocation (e.g. growing a scratch buffer that
+// amortizes to zero) is suppressed with an //alloc-ok comment on the
+// same line.
+var NoAllocHot = &Analyzer{
+	Name: "noallochot",
+	Doc:  "flag append/make/slice-or-map literals inside //hot loops (suppress with //alloc-ok)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			hot := commentLines(p.Fset, f.AST, "hot")
+			if len(hot) == 0 {
+				continue
+			}
+			ok := commentLines(p.Fset, f.AST, "alloc-ok")
+			// Collect the body spans of marked loops, then flag
+			// allocations falling inside any span. One walk flags each
+			// node once even under nested hot loops.
+			var spans [][2]token.Pos
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					body = loop.Body
+				case *ast.RangeStmt:
+					body = loop.Body
+				default:
+					return true
+				}
+				line := p.Fset.Position(n.Pos()).Line
+				if hot[line] || hot[line-1] {
+					spans = append(spans, [2]token.Pos{body.Pos(), body.End()})
+				}
+				return true
+			})
+			if len(spans) == 0 {
+				continue
+			}
+			inHot := func(pos token.Pos) bool {
+				for _, s := range spans {
+					if pos >= s[0] && pos < s[1] {
+						return true
+					}
+				}
+				return false
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				var what string
+				switch e := n.(type) {
+				case *ast.CallExpr:
+					if id, isIdent := e.Fun.(*ast.Ident); isIdent && (id.Name == "append" || id.Name == "make") {
+						what = id.Name
+					}
+				case *ast.CompositeLit:
+					switch t := e.Type.(type) {
+					case *ast.ArrayType:
+						if t.Len == nil {
+							what = "slice literal"
+						}
+					case *ast.MapType:
+						what = "map literal"
+					}
+				}
+				if what == "" || !inHot(n.Pos()) {
+					return true
+				}
+				if !ok[p.Fset.Position(n.Pos()).Line] {
+					p.Reportf(n.Pos(), "%s inside a //hot loop allocates per iteration; hoist it or mark the line //alloc-ok", what)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// All is the project analyzer set, in the order cmd/vetall runs them.
+var All = []*Analyzer{NoRandGlobal, NoWallClock, NoAllocHot}

@@ -1,0 +1,54 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// randConstructors are the math/rand selectors that name types or build
+// private, seedable sources — the only sanctioned uses. Everything else
+// on the package (rand.Intn, rand.Float64, rand.Seed, ...) goes through
+// the shared global source, whose state depends on every other caller
+// in the process: campaign results would stop being a function of the
+// campaign seed.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true, // type, in signatures like *rand.Rand
+	"Source":    true, // type
+	"Source64":  true, // type
+	"Zipf":      true, // type
+}
+
+// NoRandGlobal forbids the process-global math/rand source outside test
+// files. Deterministic code must thread an explicit *rand.Rand built
+// with rand.New(rand.NewSource(seed)).
+var NoRandGlobal = &Analyzer{
+	Name: "norandglobal",
+	Doc:  "forbid the shared global math/rand source outside _test.go files",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			local, ok := importedAs(f.AST, "math/rand")
+			if !ok {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != local {
+					return true
+				}
+				if !randConstructors[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "use of global rand.%s; build a private source with rand.New(rand.NewSource(seed)) so results stay a function of the seed", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}

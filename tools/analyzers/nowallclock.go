@@ -1,0 +1,65 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallClockAllowlist lists path suffixes where wall-clock reads are
+// sanctioned: progress reporting is presentation, not simulation, and
+// its timing never feeds a result.
+var wallClockAllowlist = []string{
+	"internal/montecarlo/progress.go",
+}
+
+// wallClockFuncs are the time-package selectors that read the wall
+// clock. Duration arithmetic and constants (time.Millisecond, ...) are
+// fine; reading the clock inside a simulation makes behaviour depend on
+// host speed.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// NoWallClock forbids wall-clock reads in simulation packages (outside
+// tests and the explicit allowlist). Simulated time must come from the
+// engine's cycle counters, never from the host clock.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/time.Since in simulation packages (allowlist: montecarlo/progress.go)",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			if f.Test || wallClockAllowed(f.Path) {
+				continue
+			}
+			local, ok := importedAs(f.AST, "time")
+			if !ok {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || id.Name != local {
+					return true
+				}
+				if wallClockFuncs[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "wall-clock read time.%s in a simulation package; derive time from simulation cycles instead", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}
+
+func wallClockAllowed(path string) bool {
+	for _, suffix := range wallClockAllowlist {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}

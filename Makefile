@@ -32,12 +32,18 @@ lint:
 fuzz-smoke:
 	$(GO) test ./internal/netlist/ -fuzz FuzzNetlistDeserialize -fuzztime=20s
 
-# bench regenerates BENCH_runonce.json, the committed perf record of the
-# per-run hot path (ns/op + allocs/op for RunOnce, GateInjection, RTLCycle).
+# bench regenerates the committed perf records: BENCH_runonce.json (the
+# per-run hot path: ns/op + allocs/op for RunOnce, GateInjection,
+# RTLCycle) and BENCH_campaign.json (campaign throughput, scalar vs
+# lane-batched, with the speedup ratio).
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_runonce.json
+	$(GO) run ./cmd/benchjson -suite runonce -out BENCH_runonce.json
+	$(GO) run ./cmd/benchjson -suite campaign -out BENCH_campaign.json
 
 # bench-smoke is the cheap CI guard: the hot-path benchmarks must still
-# compile and run.
+# compile and run, and a fresh runonce record must stay within tolerance
+# of the committed one (generous 0.75 to absorb shared-runner noise).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunOnce$$|BenchmarkGateInjection$$' -benchtime=100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkRunOnce$$|BenchmarkGateInjection$$|BenchmarkCampaignBatched$$' -benchtime=100x .
+	$(GO) run ./cmd/benchjson -suite runonce -out /tmp/bench_smoke.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 0.75 BENCH_runonce.json /tmp/bench_smoke.json

@@ -327,6 +327,31 @@ func BenchmarkAblationAlpha0(b *testing.B)   { benchAlpha(b, 0) }
 func BenchmarkAblationAlpha50(b *testing.B)  { benchAlpha(b, 50) }
 func BenchmarkAblationAlpha500(b *testing.B) { benchAlpha(b, 500) }
 
+// --- Campaign-throughput benchmarks -----------------------------------------
+
+// benchCampaignThroughput measures end-to-end campaign throughput
+// (ns/op is the per-sample cost; samples/s is attached as a metric) on
+// the bundled MPU workload with the paper's importance sampler, for the
+// scalar vs the lane-batched execution path.
+func benchCampaignThroughput(b *testing.B, batch bool) {
+	_, ev := benchSetup(b)
+	sp, err := ev.ImportanceSampler()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1, Batch: batch}
+	b.ResetTimer()
+	c, err := ev.Engine.RunCampaign(context.Background(), sp, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	b.ReportMetric(c.SSF()*1e6, "SSFe-6")
+}
+
+func BenchmarkCampaignScalar(b *testing.B)  { benchCampaignThroughput(b, false) }
+func BenchmarkCampaignBatched(b *testing.B) { benchCampaignThroughput(b, true) }
+
 // --- Microbenchmarks of the substrates --------------------------------------
 
 // BenchmarkRTLCycle measures one SoC co-simulation cycle.

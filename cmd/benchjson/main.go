@@ -1,11 +1,26 @@
-// Command benchjson regenerates BENCH_runonce.json, the committed
-// performance record of the per-run hot path: ns/op, B/op, and
-// allocs/op for a complete cross-level run (RunOnce), one timed
-// gate-level injection (GateInjection), and one RTL cycle (RTLCycle).
+// Command benchjson maintains the committed performance records:
+//
+//   - BENCH_runonce.json (-suite runonce, default): ns/op, B/op, and
+//     allocs/op for a complete cross-level run (RunOnce), one timed
+//     gate-level injection (GateInjection), and one RTL cycle
+//     (RTLCycle).
+//   - BENCH_campaign.json (-suite campaign): campaign throughput
+//     (ns/op and samples/sec) of the scalar and lane-batched execution
+//     paths, plus the batched-over-scalar speedup.
+//
 // It uses the same setup as the root go-bench harness, so the numbers
 // are comparable to `go test -bench`.
 //
-// Usage: go run ./cmd/benchjson [-out BENCH_runonce.json]
+// Regression gate: `benchjson -compare -tolerance 0.25 old.json
+// new.json` compares two records and exits non-zero when any benchmark
+// present in old got more than (1+tolerance)× slower in new, or is
+// missing from new — the CI bench-smoke step runs it against the
+// committed record.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-suite runonce|campaign] [-out FILE]
+//	go run ./cmd/benchjson -compare [-tolerance T] old.json new.json
 package main
 
 import (
@@ -30,39 +45,96 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	N           int     `json:"n"`
+	// SamplesPerSec is reported by the campaign suite only.
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+}
+
+type benchFile struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+	// SpeedupBatched records batched-over-scalar campaign throughput
+	// (campaign suite only).
+	SpeedupBatched float64 `json:"speedup_batched_vs_scalar,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_runonce.json", "output path")
+	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
+	suite := flag.String("suite", "runonce", "benchmark suite: runonce | campaign")
+	compare := flag.Bool("compare", false, "compare two records (old.json new.json) instead of benchmarking")
+	tolerance := flag.Float64("tolerance", 0.25, "compare: allowed fractional ns/op growth before failing")
 	flag.Parse()
 
-	fw, err := core.Build(core.DefaultOptions())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	ev, err := fw.NewEvaluation(core.BenchmarkIllegalWrite, core.DefaultAttackSpec())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two files: old.json new.json"))
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var results []benchResult
-	record := func(name string, fn func(b *testing.B)) {
-		r := testing.Benchmark(fn)
-		res := benchResult{
-			Name:        name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			N:           r.N,
-		}
-		results = append(results, res)
-		fmt.Printf("%-16s %12.0f ns/op %8d B/op %6d allocs/op (n=%d)\n",
-			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.N)
+	switch *suite {
+	case "runonce":
+		results = runOnceSuite()
+	case "campaign":
+		results = campaignSuite()
+	default:
+		fatal(fmt.Errorf("unknown suite %q", *suite))
 	}
 
-	record("RunOnce", func(b *testing.B) {
+	file := benchFile{Benchmarks: results}
+	if *suite == "campaign" {
+		var scalar, batched float64
+		for _, r := range results {
+			switch r.Name {
+			case "CampaignScalar":
+				scalar = r.NsPerOp
+			case "CampaignBatched":
+				batched = r.NsPerOp
+			}
+		}
+		if batched > 0 {
+			file.SpeedupBatched = scalar / batched
+			fmt.Printf("batched speedup: %.2fx\n", file.SpeedupBatched)
+		}
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *suite + ".json"
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+// record runs one benchmark function and prints + collects its result.
+func record(results *[]benchResult, name string, fn func(b *testing.B)) *benchResult {
+	r := testing.Benchmark(fn)
+	res := benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		N:           r.N,
+	}
+	*results = append(*results, res)
+	fmt.Printf("%-16s %12.0f ns/op %8d B/op %6d allocs/op (n=%d)\n",
+		name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.N)
+	return &(*results)[len(*results)-1]
+}
+
+func runOnceSuite() []benchResult {
+	fw, ev := setup()
+	var results []benchResult
+
+	record(&results, "RunOnce", func(b *testing.B) {
 		b.ReportAllocs()
 		rng := rand.New(rand.NewSource(1))
 		samples := make([]fault.Sample, 512)
@@ -75,7 +147,7 @@ func main() {
 		}
 	})
 
-	record("GateInjection", func(b *testing.B) {
+	record(&results, "GateInjection", func(b *testing.B) {
 		b.ReportAllocs()
 		tsim, err := timingsim.New(fw.MPU.Netlist, fw.Opts.Delay)
 		if err != nil {
@@ -100,7 +172,7 @@ func main() {
 		}
 	})
 
-	record("RTLCycle", func(b *testing.B) {
+	record(&results, "RTLCycle", func(b *testing.B) {
 		b.ReportAllocs()
 		cfg := soc.DefaultConfig()
 		s, err := soc.New(cfg, soc.SyntheticProgram(cfg.DMABase, cfg.DMALimit))
@@ -113,15 +185,115 @@ func main() {
 		}
 	})
 
-	data, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
+	return results
+}
+
+// campaignSuite measures end-to-end campaign throughput on the bundled
+// MPU workload, scalar vs lane-batched, with the same importance
+// sampler and seed the root go-bench harness uses.
+func campaignSuite() []benchResult {
+	_, ev := setup()
+	var results []benchResult
+	for _, cfg := range []struct {
+		name  string
+		batch bool
+	}{
+		{"CampaignScalar", false},
+		{"CampaignBatched", true},
+	} {
+		res := record(&results, cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sp, err := ev.ImportanceSampler()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1, Batch: cfg.batch}
+			b.ResetTimer()
+			if _, err := ev.Engine.RunCampaign(b.Context(), sp, opts); err != nil {
+				b.Fatal(err)
+			}
+		})
+		res.SamplesPerSec = 1e9 / res.NsPerOp
+	}
+	return results
+}
+
+func setup() (*core.Framework, *core.Evaluation) {
+	fw, err := core.Build(core.DefaultOptions())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	ev, err := fw.NewEvaluation(core.BenchmarkIllegalWrite, core.DefaultAttackSpec())
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Println("wrote", *out)
+	return fw, ev
+}
+
+// compareFiles loads two benchmark records and fails when a benchmark
+// of the old record regressed beyond the tolerance in the new one, or
+// disappeared from it. Benchmarks only present in the new record are
+// reported but don't fail the comparison.
+func compareFiles(oldPath, newPath string, tolerance float64) error {
+	oldRec, err := loadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := loadFile(newPath)
+	if err != nil {
+		return err
+	}
+	newBy := make(map[string]benchResult, len(newRec.Benchmarks))
+	for _, r := range newRec.Benchmarks {
+		newBy[r.Name] = r
+	}
+	failed := false
+	for _, old := range oldRec.Benchmarks {
+		cur, ok := newBy[old.Name]
+		if !ok {
+			fmt.Printf("%-16s MISSING from %s\n", old.Name, newPath)
+			failed = true
+			continue
+		}
+		limit := old.NsPerOp * (1 + tolerance)
+		ratio := cur.NsPerOp / old.NsPerOp
+		status := "ok"
+		if cur.NsPerOp > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-16s %12.0f -> %12.0f ns/op  (%.2fx, limit %.2fx)  %s\n",
+			old.Name, old.NsPerOp, cur.NsPerOp, ratio, 1+tolerance, status)
+		delete(newBy, old.Name)
+	}
+	for _, r := range newRec.Benchmarks {
+		if _, stillNew := newBy[r.Name]; stillNew {
+			fmt.Printf("%-16s %12.0f ns/op  (new benchmark, not gated)\n", r.Name, r.NsPerOp)
+		}
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression beyond %.0f%% tolerance", tolerance*100)
+	}
+	fmt.Println("compare: ok")
+	return nil
+}
+
+func loadFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &f, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
 }

@@ -1,10 +1,12 @@
 // Command ssfeval evaluates the System Security Factor of a benchmark
 // under a configurable attack, with a chosen sampling strategy.
 //
-// Campaigns can run across an engine pool (-parallel N) and stop
-// adaptively on the paper's weak-LLN convergence bound (-adaptive
-// -eps E). Ctrl-C cancels a running campaign cleanly and reports the
-// partial results accumulated so far.
+// Campaigns can run across an engine pool (-parallel N), use the
+// lane-batched speculative resume (-batch), and stop adaptively on the
+// paper's weak-LLN convergence bound (-adaptive -eps E). Ctrl-C cancels
+// a running campaign cleanly and reports the partial results
+// accumulated so far. -cpuprofile / -memprofile write pprof profiles of
+// the campaign for performance investigation.
 package main
 
 import (
@@ -14,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -41,6 +45,9 @@ func main() {
 	risk := flag.Float64("risk", 0.05, "adaptive: acceptable risk of an eps-deviation")
 	maxSamples := flag.Int("max-samples", 1<<20, "adaptive: hard cap on total samples")
 	progress := flag.Bool("progress", stderrIsTerminal(), "print a live progress line to stderr")
+	batch := flag.Bool("batch", false, "use the lane-batched speculative resume (gate/register modes)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the campaign to this file")
 	flag.Parse()
 
 	bench := core.BenchmarkIllegalWrite
@@ -99,9 +106,20 @@ func main() {
 		}
 	}
 
-	copts := montecarlo.CampaignOptions{Samples: *samples, Seed: *seed, Progress: prog}
+	copts := montecarlo.CampaignOptions{Samples: *samples, Seed: *seed, Progress: prog, Batch: *batch}
 	var camp *montecarlo.Campaign
 	workers := 1
+	if *cpuProfile != "" {
+		f, perr := os.Create(*cpuProfile)
+		if perr != nil {
+			fatal(perr)
+		}
+		defer f.Close()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			fatal(perr)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	t1 := time.Now()
 	switch *mode {
 	case "gate", "register":
@@ -120,6 +138,7 @@ func main() {
 			aopts.Seed = *seed
 			aopts.MaxSamples = *maxSamples
 			aopts.Progress = prog
+			aopts.Batch = *batch
 			camp, err = pool.RunAdaptive(ctx, sp, aopts)
 		} else if pool.Size() > 1 {
 			camp, err = pool.Run(ctx, sp, copts)
@@ -127,8 +146,8 @@ func main() {
 			camp, err = ev.Engine.RunCampaign(ctx, sp, copts)
 		}
 	case "glitch":
-		if *parallel > 1 || *adaptive {
-			fatal(fmt.Errorf("glitch campaigns run sequentially with a fixed sample count"))
+		if *parallel > 1 || *adaptive || *batch {
+			fatal(fmt.Errorf("glitch campaigns run sequentially, scalar, with a fixed sample count"))
 		}
 		tech := fault.DefaultClockGlitch()
 		tech.Depth = *glitchDepth
@@ -173,6 +192,18 @@ func main() {
 	t.Row("RTL cycles simulated", camp.RTLCycles)
 	t.Row("throughput", fmt.Sprintf("%.0f runs/s", float64(runs)/elapsed.Seconds()))
 	t.Render(os.Stdout)
+
+	if *memProfile != "" {
+		f, perr := os.Create(*memProfile)
+		if perr != nil {
+			fatal(perr)
+		}
+		runtime.GC() // materialize up-to-date heap statistics
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			fatal(perr)
+		}
+		f.Close()
+	}
 }
 
 // stderrIsTerminal reports whether stderr is an interactive terminal

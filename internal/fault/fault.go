@@ -204,6 +204,28 @@ func (a *Attack) Strike(p *placement.Placement, s Sample) timingsim.Strike {
 	}
 }
 
+// StrikeFrom assembles the same Strike as Strike from a precomputed
+// spot — the struck gates and their placed distances from s.Center, as
+// placement.SpotIndex.CombWithin returns them — reusing widthsBuf as
+// the width scratch. The computed widths are bit-identical to Strike's;
+// the returned slice is the grown scratch for the caller to keep.
+func (a *Attack) StrikeFrom(s Sample, gates []netlist.NodeID, dists, widthsBuf []float64) (timingsim.Strike, []float64) {
+	widths := widthsBuf[:0]
+	for _, d := range dists {
+		frac := 1.0
+		if s.Radius > 0 {
+			frac = 1 - ChargeSharingDecay*d/s.Radius
+		}
+		widths = append(widths, s.Width*frac) //alloc-ok (reused scratch buffer)
+	}
+	return timingsim.Strike{
+		Gates:  gates,
+		Time:   s.Time,
+		Width:  s.Width,
+		Widths: widths,
+	}, widths
+}
+
 // --- Spatial-accuracy helpers (Fig 11b sweep) ---------------------------
 
 // ConcentratedCenters returns a candidate subset for an attacker whose

@@ -179,12 +179,49 @@ func (s *Simulator) FlipReg(id netlist.NodeID) {
 // RegState captures the current register values (all lanes) in the order
 // of Netlist.Regs. It is the checkpoint payload for golden-run restart.
 func (s *Simulator) RegState() []uint64 {
+	out := make([]uint64, len(s.nl.Regs()))
+	s.RegStateInto(out)
+	return out
+}
+
+// RegStateInto writes the current register values (all lanes, in
+// Netlist.Regs order) into the caller's buffer, which must have exactly
+// one word per register. It is the allocation-free RegState for hot
+// paths that snapshot registers every cycle.
+func (s *Simulator) RegStateInto(out []uint64) {
 	regs := s.nl.Regs()
-	out := make([]uint64, len(regs))
+	if len(out) != len(regs) {
+		panic(fmt.Sprintf("logicsim: RegStateInto with %d words for %d regs", len(out), len(regs)))
+	}
 	for i, r := range regs {
 		out[i] = s.vals[r]
 	}
-	return out
+}
+
+// RegDiffMask XORs every register against a reference register state
+// (same order and length as RegState) and ORs the differences together:
+// bit l of the result is set iff lane l disagrees with the reference in
+// at least one register. With golden register words in ref, this is the
+// per-cycle error-liveness mask of a lane-batched resume — one pass
+// yields every lane's "does any error survive" bit.
+func (s *Simulator) RegDiffMask(ref []uint64) uint64 {
+	regs := s.nl.Regs()
+	if len(ref) != len(regs) {
+		panic(fmt.Sprintf("logicsim: RegDiffMask with %d words for %d regs", len(ref), len(regs)))
+	}
+	var m uint64
+	for i, r := range regs {
+		m |= s.vals[r] ^ ref[i]
+	}
+	return m
+}
+
+// Broadcast returns the 64-lane word holding v in every lane.
+func Broadcast(v bool) uint64 {
+	if v {
+		return AllLanes
+	}
+	return 0
 }
 
 // SetRegState restores register values captured by RegState.

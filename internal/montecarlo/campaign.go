@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/netlist"
 	"repro/internal/sampling"
 	"repro/internal/stats"
@@ -32,6 +33,18 @@ type CampaignOptions struct {
 	// ProgressEvery is the approximate number of samples between
 	// Progress callbacks; 0 means the default (500).
 	ProgressEvery int
+	// Batch enables the lane-batched execution path: single-cycle
+	// samples are classified against the cached golden attack window
+	// and their RTL resumes run up to 64 at a time in the lanes of one
+	// forked simulator, with exact scalar fallback for lanes that
+	// diverge behaviorally. Results are bit-identical to the scalar
+	// path for the same seed.
+	Batch bool
+	// BatchWindow is the number of draws buffered before deferred
+	// resumes are flushed and results are committed (in draw order);
+	// 0 means DefaultBatchWindow. Larger windows fill lanes better;
+	// the window also bounds cancellation latency.
+	BatchWindow int
 }
 
 // Campaign is the aggregate result of a sampling campaign.
@@ -102,7 +115,11 @@ func (e *Engine) runCampaign(ctx context.Context, sampler sampling.Sampler, opts
 	if opts.TrackConvergence {
 		c.Convergence = make([]float64, 0, opts.Samples)
 	}
-	if err := e.runSamples(ctx, c, rng, sampler, opts, agg, shard); err != nil {
+	run := e.runSamples
+	if opts.Batch {
+		run = e.runSamplesBatched
+	}
+	if err := run(ctx, c, rng, sampler, opts, agg, shard); err != nil {
 		c.Options.Samples = c.Est.N()
 		return c, err
 	}
@@ -130,26 +147,107 @@ func (e *Engine) runSamples(ctx context.Context, c *Campaign, rng *rand.Rand, sa
 		}
 		sample, weight := sampler.Draw(rng)
 		res := e.RunOnce(rng, sample, opts.Mode)
-		x := 0.0
-		if res.Success {
-			x = 1.0
-			c.Successes++
-			for _, r := range e.AttributeSuccess(sample, res.Flipped) {
-				c.RegContribution[r] += weight
-			}
-		}
-		c.Est.Add(x, weight)
-		c.ClassCounts[res.Class]++
-		c.PathCounts[res.Path]++
-		c.RTLCycles += res.ResumeCycles
-		if opts.TrackConvergence {
-			c.Convergence = append(c.Convergence, c.Est.Estimate())
-		}
-		if opts.TrackPatterns && len(res.Flipped) > 0 {
-			c.Patterns[timingsim.PatternKey(res.Flipped)] = true
-			c.PatternCounts[layout.Classify(res.Flipped)]++
-		}
+		e.accumulate(c, &opts, layout, sample, weight, &res)
 		agg.observe(shard, c, i+1 == opts.Samples)
+	}
+	return nil
+}
+
+// accumulate folds one evaluated sample into the campaign aggregate.
+// The fold order is the draw order — the weighted estimator is a
+// floating-point sum, so both execution paths commit results in exactly
+// this order to stay bit-identical.
+func (e *Engine) accumulate(c *Campaign, opts *CampaignOptions, layout *timingsim.RegisterLayout, sample fault.Sample, weight float64, res *RunResult) {
+	x := 0.0
+	if res.Success {
+		x = 1.0
+		c.Successes++
+		for _, r := range e.AttributeSuccess(sample, res.Flipped) {
+			c.RegContribution[r] += weight
+		}
+	}
+	c.Est.Add(x, weight)
+	c.ClassCounts[res.Class]++
+	c.PathCounts[res.Path]++
+	c.RTLCycles += res.ResumeCycles
+	if opts.TrackConvergence {
+		c.Convergence = append(c.Convergence, c.Est.Estimate())
+	}
+	if opts.TrackPatterns && len(res.Flipped) > 0 {
+		c.Patterns[timingsim.PatternKey(res.Flipped)] = true
+		c.PatternCounts[layout.Classify(res.Flipped)]++
+	}
+}
+
+// DefaultBatchWindow is the number of draws buffered per batched flush:
+// enough that draws aimed at the same injection cycle fill most of a
+// 64-lane word, small enough that cancellation stays responsive.
+const DefaultBatchWindow = 2048
+
+// runSamplesBatched is runSamples over the lane-batched execution path:
+// draws are buffered in windows, every sample is injected and
+// classified in draw order against the cached golden attack window
+// (identical rng consumption to the scalar path), and the deferred
+// PathRTL resumes of each window are completed in 64-lane batches
+// before the window's results are committed — again in draw order, so
+// fixed-seed campaigns are bit-identical to the scalar path.
+func (e *Engine) runSamplesBatched(ctx context.Context, c *Campaign, rng *rand.Rand, sampler sampling.Sampler, opts CampaignOptions, agg *progressAgg, shard int) error {
+	var layout *timingsim.RegisterLayout
+	if opts.TrackPatterns {
+		if c.Patterns == nil {
+			c.Patterns = make(map[string]bool)
+			c.PatternCounts = make(map[timingsim.PatternClass]int)
+		}
+		layout = timingsim.NewRegisterLayout(e.SoC.MPU.Groups)
+	}
+	window := opts.BatchWindow
+	if window < 1 {
+		window = DefaultBatchWindow
+	}
+	if window > opts.Samples {
+		window = opts.Samples
+	}
+	samples := make([]fault.Sample, window)
+	weights := make([]float64, window)
+	results := make([]RunResult, window)
+	pend := make([]pendingResume, 0, window)
+	done := ctx.Done()
+	evaluated := 0
+	for evaluated < opts.Samples {
+		n := opts.Samples - evaluated
+		if n > window {
+			n = window
+		}
+		cancelled := false
+		drawn := 0
+		pend = pend[:0]
+		for j := 0; j < n; j++ {
+			select {
+			case <-done:
+				cancelled = true
+			default:
+			}
+			if cancelled {
+				break
+			}
+			sample, weight := sampler.Draw(rng)
+			res, te, deferred := e.evalSample(rng, sample, opts.Mode)
+			samples[j], weights[j], results[j] = sample, weight, res
+			if deferred {
+				pend = append(pend, pendingResume{idx: j, te: te, flips: res.Flipped})
+			}
+			drawn++
+		}
+		e.flushResumes(pend, results)
+		for j := 0; j < drawn; j++ {
+			e.accumulate(c, &opts, layout, samples[j], weights[j], &results[j])
+			evaluated++
+			agg.observe(shard, c, evaluated == opts.Samples)
+		}
+		if cancelled {
+			agg.observe(shard, c, true)
+			return ctx.Err()
+		}
 	}
 	return nil
 }

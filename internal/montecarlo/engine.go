@@ -142,6 +142,11 @@ type Golden struct {
 	// equal to the golden hash at the same cycle is back on the golden
 	// trajectory and can stop early with the golden outcome.
 	StateHashes []uint64
+	// BusTrace[c] is the golden system/MPU interface activity at cycle
+	// c: the values driven onto the MPU ports and the responses the
+	// system consumed. The lane-batched resume replays it into a forked
+	// simulator instead of re-executing the behavioural core.
+	BusTrace []soc.BusTraceEntry
 }
 
 // Engine evaluates fault attacks on one SoC + benchmark. It is not safe
@@ -187,10 +192,30 @@ type Engine struct {
 	golden  *Golden
 	memType map[netlist.NodeID]bool
 	cache   *stateCache
+	batch   *batchState
 
 	// Per-run scratch (Engine is single-goroutine).
 	seen    map[netlist.NodeID]bool
 	flipBuf []netlist.NodeID
+	// batchVals/batchValues expose the cached golden post-Eval bitset
+	// of the current injection cycle to the timed injector through one
+	// long-lived closure, so the batched fast path allocates nothing
+	// per sample for value access.
+	batchVals   []uint64
+	batchValues func(netlist.NodeID) bool
+	// spots caches radius queries around repeated strike centers (the
+	// candidate set is finite, so centers recur constantly); it is
+	// engine-owned because SpotIndex is not concurrency-safe.
+	spots        *placement.SpotIndex
+	strikeWidths []float64
+}
+
+// spotIndex returns the engine's lazily-built radius-query cache.
+func (e *Engine) spotIndex() *placement.SpotIndex {
+	if e.spots == nil {
+		e.spots = e.Place.NewSpotIndex()
+	}
+	return e.spots
 }
 
 // DefaultStateCacheSize is the default bound of the injection-window
@@ -297,8 +322,11 @@ func (e *Engine) RunGolden(interval int) (*Golden, error) {
 	s := e.SoC
 	s.Reset()
 	e.cache = nil // exact-cycle snapshots belong to the previous golden run
+	e.batch = nil // ditto for the lane-batch window
 	s.LogAccesses = true
 	s.Accesses = s.Accesses[:0]
+	s.LogBusTrace = true
+	s.BusTrace = s.BusTrace[:0]
 	g := &Golden{Interval: interval, SetupEnd: -1}
 	g.Checkpoints = append(g.Checkpoints, s.Snapshot())
 	g.StateHashes = append(g.StateHashes, s.StateHash())
@@ -313,6 +341,7 @@ func (e *Engine) RunGolden(interval int) (*Golden, error) {
 		}
 	}
 	s.LogAccesses = false
+	s.LogBusTrace = false
 	if !s.Done() {
 		return nil, fmt.Errorf("montecarlo: golden run did not halt within %d cycles", s.Cfg.MaxCycles)
 	}
@@ -326,6 +355,7 @@ func (e *Engine) RunGolden(interval int) (*Golden, error) {
 	g.MarkedIssue = s.Marked.IssueCycle
 	g.FinalCycle = s.Cycle()
 	g.Accesses = append([]soc.AccessEvent(nil), s.Accesses...)
+	g.BusTrace = append([]soc.BusTraceEntry(nil), s.BusTrace...)
 	if e.Analytical != nil {
 		// The policy is stable from SetupEnd to the end of the run;
 		// capture it from the final state.
@@ -374,7 +404,7 @@ func (e *Engine) restoreTo(cycle int) {
 
 // DensifyAttackWindow pre-populates the state cache with one snapshot
 // per cycle of the attack's injection window [TargetCycle-TRange,
-// TargetCycle], growing StateCacheSize if the window does not fit.
+// TargetCycle+1], growing StateCacheSize if the window does not fit.
 // After it, every sample's warm-up is a single Restore. Call after
 // RunGolden; a no-op when the cache is disabled.
 func (e *Engine) DensifyAttackWindow() {
@@ -391,7 +421,9 @@ func (e *Engine) DensifyAttackWindow() {
 	if lo > 0 {
 		lo--
 	}
-	hi := g.TargetCycle
+	// One extra slot above: lane-batched resumes that diverge at the
+	// marked-response cycle fall back to a scalar restore there.
+	hi := g.TargetCycle + 1
 	if need := hi - lo + 1; e.StateCacheSize < need+4 {
 		e.StateCacheSize = need + 4
 	}
@@ -468,19 +500,16 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 		e.SoC.StepInject(func(values func(netlist.NodeID) bool) []netlist.NodeID {
 			switch mode {
 			case GateAttack:
-				strike := e.Attack.Strike(e.Place, sample)
-				if len(strike.Gates) == 0 {
+				gates, dists := e.spotIndex().CombWithin(sample.Center, sample.Radius)
+				if len(gates) == 0 {
 					return nil
 				}
+				var strike timingsim.Strike
+				strike, e.strikeWidths = e.Attack.StrikeFrom(sample, gates, dists, e.strikeWidths)
 				res := e.Timing.Inject(values, strike)
 				cycleFlips = e.applyHardening(rng, res.FlippedRegs)
 			case RegisterAttack:
-				var regs []netlist.NodeID
-				for _, id := range e.Place.WithinRadius(sample.Center, sample.Radius) {
-					if e.SoC.MPU.Netlist.Node(id).Type == netlist.DFF {
-						regs = append(regs, id) //alloc-ok (register-attack mode only; small per-strike set)
-					}
-				}
+				regs := e.spotIndex().DFFWithin(sample.Center, sample.Radius)
 				cycleFlips = e.applyHardening(rng, regs)
 			}
 			return cycleFlips
@@ -502,7 +531,40 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 	}
 	e.flipBuf = flipped
 
-	res := RunResult{}
+	// The classification shortcuts assume a single-cycle disturbance;
+	// multi-cycle injections always resolve through RTL (after the
+	// masked check).
+	if cycles > 1 {
+		if len(flipped) == 0 {
+			return RunResult{Class: Masked, Path: PathMasked}
+		}
+		res := RunResult{
+			Class: Mixed, Path: PathRTL,
+			Flipped: append([]netlist.NodeID(nil), flipped...),
+		}
+		res.ResumeCycles, res.Success = e.resumeRTL()
+		return res
+	}
+
+	res, needRTL := e.classifySingle(sample, te, flipped)
+	if needRTL {
+		// Full RTL resume: run until the marked access resolves (or
+		// the run ends some other way — e.g. a spurious trap halts the
+		// core).
+		res.ResumeCycles, res.Success = e.resumeRTL()
+	}
+	return res
+}
+
+// classifySingle decides a single-cycle injection's outcome from the
+// flipped-register set alone, without touching the SoC state: masked,
+// analytical memory-type evaluation, or lifetime pruning. When none of
+// the shortcut paths apply it returns needRTL=true with Path set to
+// PathRTL, and the caller owes the run an RTL resume (scalar resumeRTL,
+// or a lane of a batched resume). flipped is the caller's scratch; the
+// returned result holds its own copy.
+func (e *Engine) classifySingle(sample fault.Sample, te int, flipped []netlist.NodeID) (res RunResult, needRTL bool) {
+	g := e.golden
 	if len(flipped) > 0 {
 		// Copy out of the scratch buffer: the result outlives the run
 		// (campaign attribution, pattern tracking).
@@ -512,21 +574,11 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 	case len(flipped) == 0:
 		res.Class = Masked
 		res.Path = PathMasked
-		return res
+		return res, false
 	case e.allMemoryType(flipped):
 		res.Class = MemoryOnly
 	default:
 		res.Class = Mixed
-	}
-
-	// The classification shortcuts assume a single-cycle disturbance;
-	// multi-cycle injections always resolve through RTL (after the
-	// masked check).
-	if cycles > 1 && res.Class != Masked {
-		res.Class = Mixed
-		res.Path = PathRTL
-		res.ResumeCycles, res.Success = e.resumeRTL()
-		return res
 	}
 
 	if res.Class == MemoryOnly && sample.T == 0 {
@@ -534,13 +586,13 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 		// after the decision. Memory-type state cannot influence it
 		// anymore.
 		res.Path = PathPruned
-		return res
+		return res, false
 	}
 	if res.Class == MemoryOnly && e.Analytical != nil && e.Analytical.Covers(flipped) && te > g.SetupEnd {
 		res.Path = PathAnalytical
 		window := g.accessWindow(te, g.MarkedIssue)
 		res.Success = e.Analytical.Outcome(g.Policy, e.SoC.Prog, window, flipped)
-		return res
+		return res, false
 	}
 
 	// Lifetime pruning for computation-type-only errors: if no flipped
@@ -555,15 +607,12 @@ func (e *Engine) RunOnce(rng *rand.Rand, sample fault.Sample, mode Mode) RunResu
 		}
 		if maxLife < float64(sample.T) {
 			res.Path = PathPruned
-			return res
+			return res, false
 		}
 	}
 
-	// Full RTL resume: run until the marked access resolves (or the
-	// run ends some other way — e.g. a spurious trap halts the core).
 	res.Path = PathRTL
-	res.ResumeCycles, res.Success = e.resumeRTL()
-	return res
+	return res, true
 }
 
 // AttributeSuccess refines the register attribution of a successful

@@ -22,12 +22,15 @@ func (c *Campaign) Merge(o *Campaign) {
 	c.Est.Merge(o.Est)
 	c.Successes += o.Successes
 	c.RTLCycles += o.RTLCycles
+	//hot
 	for i := range c.ClassCounts {
 		c.ClassCounts[i] += o.ClassCounts[i]
 	}
+	//hot
 	for i := range c.PathCounts {
 		c.PathCounts[i] += o.PathCounts[i]
 	}
+	//hot
 	for r, v := range o.RegContribution {
 		c.RegContribution[r] += v
 	}
@@ -129,7 +132,10 @@ func runShards(ctx context.Context, engines []*Engine, sampler sampling.Sampler,
 // are merged and returned alongside the context error. Any other shard
 // error (including an isolated panic) fails the whole campaign.
 func mergeShards(ctx context.Context, results []*Campaign, errs []error) (*Campaign, error) {
-	var hard []error
+	// Preallocated to the shard count: the merge runs once per adaptive
+	// round, and growing these inside the round loop shows up in the
+	// aggregation profile of large pools.
+	hard := make([]error, 0, len(errs))
 	for _, err := range errs {
 		if err == nil {
 			continue
@@ -250,6 +256,12 @@ type AdaptiveOptions struct {
 	// snapshots report Total as 0 (open-ended).
 	Progress      ProgressFunc
 	ProgressEvery int
+	// Batch and BatchWindow as in CampaignOptions: every chunk (and
+	// every shard of a parallel round) runs the lane-batched execution
+	// path, leaving results bit-identical to the scalar run with the
+	// same options.
+	Batch       bool
+	BatchWindow int
 }
 
 // DefaultAdaptive returns a criterion targeting ±eps at 5% risk.
@@ -332,6 +344,8 @@ func (e *Engine) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts
 			Seed:             opts.Seed*999983 + chunkIdx,
 			TrackConvergence: opts.TrackConvergence,
 			TrackPatterns:    opts.TrackPatterns,
+			Batch:            opts.Batch,
+			BatchWindow:      opts.BatchWindow,
 		}, agg, 0)
 		chunkIdx++
 		if total == nil {
@@ -375,6 +389,8 @@ func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler samplin
 		Mode:          opts.Mode,
 		Seed:          opts.Seed,
 		TrackPatterns: opts.TrackPatterns,
+		Batch:         opts.Batch,
+		BatchWindow:   opts.BatchWindow,
 	}
 	var total *Campaign
 	var conv []float64

@@ -168,6 +168,104 @@ func (p *Placement) CombWithinRadius(center netlist.NodeID, r float64) []netlist
 	return out
 }
 
+// SpotIndex answers repeated radius queries around the same centers
+// without rescanning the whole placement: per center it caches every
+// node within a cap radius (grown on demand) together with its placed
+// distance and node class, in id order, so a query filters a handful of
+// cached candidates instead of all nodes. The returned sets and
+// distances are bit-identical to WithinRadius / CombWithinRadius /
+// Dist. A SpotIndex is not safe for concurrent use; give each worker
+// its own.
+type SpotIndex struct {
+	p       *Placement
+	centers map[netlist.NodeID]*spotEntry
+	idBuf   []netlist.NodeID
+	distBuf []float64
+}
+
+type spotEntry struct {
+	capR float64 // queries with r <= capR are answered from the cache
+	ids  []netlist.NodeID
+	d2   []float64 // squared distance — the WithinRadius filter quantity
+	dist []float64 // Dist(id, center) — the charge-sharing quantity
+	comb []bool    // strikeable combinational gate (excludes constants)
+	dff  []bool
+}
+
+// Rebuilding a center's entry rescans the placement, so the cap is
+// padded past the requested radius to absorb per-sample radius jitter.
+const spotCapGrowth = 1.5
+
+// NewSpotIndex returns an empty per-worker radius-query cache over p.
+func (p *Placement) NewSpotIndex() *SpotIndex {
+	return &SpotIndex{p: p, centers: make(map[netlist.NodeID]*spotEntry)}
+}
+
+func (si *SpotIndex) entry(center netlist.NodeID, r float64) *spotEntry {
+	e := si.centers[center]
+	if e != nil && r <= e.capR {
+		return e
+	}
+	capR := r * spotCapGrowth
+	if e == nil {
+		e = &spotEntry{}
+		si.centers[center] = e
+	}
+	e.capR = capR
+	e.ids, e.d2, e.dist = e.ids[:0], e.d2[:0], e.dist[:0]
+	e.comb, e.dff = e.comb[:0], e.dff[:0]
+	p := si.p
+	c := p.points[center]
+	cap2 := capR * capR
+	for i, pt := range p.points {
+		dx, dy := pt.X-c.X, pt.Y-c.Y
+		if d2 := dx*dx + dy*dy; d2 <= cap2 {
+			id := netlist.NodeID(i)
+			t := p.nl.Node(id).Type
+			e.ids = append(e.ids, id)
+			e.d2 = append(e.d2, d2)
+			e.dist = append(e.dist, p.Dist(id, center))
+			e.comb = append(e.comb, t.IsCombinational() && t != netlist.Const0 && t != netlist.Const1)
+			e.dff = append(e.dff, t == netlist.DFF)
+		}
+	}
+	return e
+}
+
+// CombWithin returns the strikeable combinational gates within r of
+// center — the set CombWithinRadius returns, in the same id order —
+// together with each gate's placed distance from the center. The
+// returned slices are scratch reused by the next query on this index.
+func (si *SpotIndex) CombWithin(center netlist.NodeID, r float64) ([]netlist.NodeID, []float64) {
+	e := si.entry(center, r)
+	ids, dist := si.idBuf[:0], si.distBuf[:0]
+	r2 := r * r
+	for i, d2 := range e.d2 {
+		if d2 <= r2 && e.comb[i] {
+			ids = append(ids, e.ids[i])
+			dist = append(dist, e.dist[i])
+		}
+	}
+	si.idBuf, si.distBuf = ids, dist
+	return ids, dist
+}
+
+// DFFWithin returns the registers within r of center, in id order — the
+// DFF subset of WithinRadius. The returned slice is scratch reused by
+// the next query on this index.
+func (si *SpotIndex) DFFWithin(center netlist.NodeID, r float64) []netlist.NodeID {
+	e := si.entry(center, r)
+	ids := si.idBuf[:0]
+	r2 := r * r
+	for i, d2 := range e.d2 {
+		if d2 <= r2 && e.dff[i] {
+			ids = append(ids, e.ids[i])
+		}
+	}
+	si.idBuf = ids
+	return ids
+}
+
 // MeanNeighborDist reports the average placed distance between connected
 // nodes — the quality metric used by tests to check that the relaxation
 // actually produces locality (it must beat a row-major id layout).

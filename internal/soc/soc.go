@@ -104,6 +104,32 @@ type SoC struct {
 	// The log is not part of checkpoints.
 	LogAccesses bool
 	Accesses    []AccessEvent
+
+	// LogBusTrace enables recording, for every cycle, the exact values
+	// driven onto the MPU input ports plus whether (and how) the system
+	// consumed an MPU response that cycle. BusTrace is indexed by cycle
+	// and lets a lane-batched resume replay the golden system's side of
+	// the bus into a forked simulator without re-executing the
+	// behavioural core. The log is not part of checkpoints.
+	LogBusTrace bool
+	BusTrace    []BusTraceEntry
+}
+
+// BusTraceEntry records one cycle of the golden system/MPU interface:
+// everything the system drove into the MPU, and which MPU outputs the
+// system read back. The behavioural core, memory, and DMA only observe
+// the MPU through grant/viol at response-consumption cycles, so a faulty
+// MPU whose outputs match RespGrant/RespViol at every RespConsumed cycle
+// leaves the rest of the system exactly on the golden trajectory.
+type BusTraceEntry struct {
+	Valid, Write, Priv bool
+	Addr               uint16
+	CfgWe, CfgPriv     bool
+	CfgAddr, CfgWData  uint16
+	// RespConsumed marks cycles where the system read the MPU's
+	// grant/viol outputs; RespGrant/RespViol are the golden values it
+	// saw.
+	RespConsumed, RespGrant, RespViol bool
 }
 
 // AccessEvent is one issued bus access.
@@ -197,9 +223,11 @@ func (s *SoC) StepInject(inject InjectFunc) {
 	// Phase A: consume the response to an in-flight access. The MPU's
 	// grant/viol outputs are registers, so their pre-Eval values are
 	// the decision latched at the end of the previous cycle.
+	var respConsumed, respGrant, respViol bool
 	if s.pending.Active && s.cycle >= s.pending.RespCycle {
 		grant := s.Sim.Bool(mpu.OutGrant[0])
 		viol := s.Sim.Bool(mpu.OutViol[0])
+		respConsumed, respGrant, respViol = true, grant, viol
 		op := s.pending
 		s.pending = busOp{}
 		if op.Marked {
@@ -266,6 +294,17 @@ func (s *SoC) StepInject(inject InjectFunc) {
 	s.Sim.DriveWord(mpu.InCfgAddr, uint64(cfgW.addr))
 	s.Sim.DriveWord(mpu.InCfgWData, uint64(cfgW.wdata))
 
+	if s.LogBusTrace {
+		s.BusTrace = append(s.BusTrace, BusTraceEntry{
+			Valid: req.Active, Write: drive.Write,
+			Priv: req.Active && !req.FromDMA && s.cpu.Priv,
+			Addr: drive.Addr,
+			CfgWe: cfgW.we, CfgPriv: s.cpu.Priv,
+			CfgAddr: cfgW.addr, CfgWData: cfgW.wdata,
+			RespConsumed: respConsumed, RespGrant: respGrant, RespViol: respViol,
+		})
+	}
+
 	if req.Active {
 		// The request is captured at this cycle's end; the decision
 		// latches one cycle later; the response is readable the
@@ -296,6 +335,22 @@ func (s *SoC) StepInject(inject InjectFunc) {
 		s.Sim.FlipReg(r)
 	}
 	s.cycle++
+}
+
+// DriveBusTrace replays one recorded golden bus-trace entry onto the MPU
+// input ports of an arbitrary simulator over the same netlist. Each bit
+// is broadcast to all 64 lanes, so a lane-batched resume can step 64
+// faulty MPU register states against the one golden system trace with a
+// single combinational pass per cycle.
+func (m *MPU) DriveBusTrace(sim *logicsim.Simulator, e *BusTraceEntry) {
+	sim.DriveWord(m.InValid, b2u(e.Valid))
+	sim.DriveWord(m.InWrite, b2u(e.Write))
+	sim.DriveWord(m.InPriv, b2u(e.Priv))
+	sim.DriveWord(m.InAddr, uint64(e.Addr))
+	sim.DriveWord(m.InCfgWe, b2u(e.CfgWe))
+	sim.DriveWord(m.InCfgPriv, b2u(e.CfgPriv))
+	sim.DriveWord(m.InCfgAddr, uint64(e.CfgAddr))
+	sim.DriveWord(m.InCfgWData, uint64(e.CfgWData))
 }
 
 // FlipRegsNow flips the stored value of the given MPU registers between

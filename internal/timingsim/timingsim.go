@@ -126,6 +126,12 @@ type Result struct {
 type coneCache struct {
 	mu    sync.RWMutex
 	sched map[netlist.NodeID][]netlist.NodeID
+	// merged memoizes the union cone schedule of a multi-gate strike,
+	// keyed by the byte-packed struck-gate id list. Strike spots are
+	// drawn around a finite candidate-center set and the radius jitter
+	// only crosses a few inter-gate distance thresholds, so the same
+	// gate sets recur constantly within a campaign.
+	merged map[string][]netlist.NodeID
 }
 
 func (c *coneCache) get(g netlist.NodeID) []netlist.NodeID {
@@ -133,6 +139,23 @@ func (c *coneCache) get(g netlist.NodeID) []netlist.NodeID {
 	s := c.sched[g]
 	c.mu.RUnlock()
 	return s
+}
+
+func (c *coneCache) getMerged(key []byte) []netlist.NodeID {
+	c.mu.RLock()
+	s := c.merged[string(key)] // no-alloc map lookup
+	c.mu.RUnlock()
+	return s
+}
+
+func (c *coneCache) putMerged(key []byte, sched []netlist.NodeID) []netlist.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.merged[string(key)]; ok {
+		return prev
+	}
+	c.merged[string(key)] = sched
+	return sched
 }
 
 func (c *coneCache) put(g netlist.NodeID, sched []netlist.NodeID) []netlist.NodeID {
@@ -171,12 +194,9 @@ type Simulator struct {
 
 	// Scratch buffers reused across Inject calls.
 	events   []float64
-	flips    []bool
 	argBuf   []uint64 // spill for cells with more than 8 fanins
 	propBuf  []Interval
-	heapBuf  []int32
-	visitBuf []netlist.NodeID
-	inSched  []bool
+	keyBuf   []byte
 
 	// reference switches Inject to the dense full-order sweep; kept
 	// for equivalence testing against the sparse fast path.
@@ -202,11 +222,13 @@ func New(nl *netlist.Netlist, dm DelayModel) (*Simulator, error) {
 		combFanout:   make([][]netlist.NodeID, n),
 		regFanout:    make([][]netlist.NodeID, n),
 		maxFanoutPos: make([]int32, n),
-		cones:        &coneCache{sched: make(map[netlist.NodeID][]netlist.NodeID)},
+		cones: &coneCache{
+			sched:  make(map[netlist.NodeID][]netlist.NodeID),
+			merged: make(map[string][]netlist.NodeID),
+		},
 		waves:        make([][]Interval, n),
 		dirty:        make([]bool, n),
 		marked:       make([]bool, n),
-		inSched:      make([]bool, n),
 	}
 	for i := range s.topoPos {
 		s.topoPos[i] = -1
@@ -237,7 +259,6 @@ func New(nl *netlist.Netlist, dm DelayModel) (*Simulator, error) {
 			}
 		}
 	}
-	s.flips = make([]bool, s.maxFanin)
 	if s.maxFanin > 8 {
 		s.argBuf = make([]uint64, s.maxFanin)
 	}
@@ -264,8 +285,6 @@ func (s *Simulator) Fork() *Simulator {
 		waves:        make([][]Interval, n),
 		dirty:        make([]bool, n),
 		marked:       make([]bool, n),
-		inSched:      make([]bool, n),
-		flips:        make([]bool, s.maxFanin),
 		reference:    s.reference,
 	}
 	if s.maxFanin > 8 {
@@ -356,39 +375,65 @@ func (s *Simulator) sweepSparse(values func(netlist.NodeID) bool, res *Result) {
 		s.sweepCone(s.touched[0], values, res)
 		return
 	}
-	// Worklist: a min-heap of topo positions seeded with the struck
-	// gates; a node's fanouts are enqueued only when it ends up with a
-	// surviving waveform, so dead transients cost nothing. Popping in
-	// topo-position order guarantees every fanin with a waveform is
-	// final before its consumers evaluate.
-	heap := s.heapBuf[:0]
-	visit := s.visitBuf[:0]
+	// Multi-gate strike: walk the memoized union cone schedule of the
+	// struck set with the same reach bound sweepCone uses — past
+	// maxReach every remaining schedule node has fault-free fanins.
+	// Evaluation order (topo position) and the evaluated live set match
+	// the event-driven worklist this replaces, so results are
+	// identical; the schedule walk just avoids per-sample heap and
+	// visited-set bookkeeping for the recurring strike sets.
+	sched := s.mergedSchedule()
+	maxReach := int32(-1)
 	for _, g := range s.touched {
-		s.inSched[g] = true
-		visit = append(visit, g)
-		heap = heapPush(heap, s.topoPos[g])
+		if p := s.topoPos[g]; p > maxReach {
+			maxReach = p
+		}
 	}
 	//hot
-	for len(heap) > 0 {
-		var pos int32
-		heap, pos = heapPop(heap)
-		id := s.order[pos]
+	for _, id := range sched {
+		if s.topoPos[id] > maxReach {
+			break
+		}
 		s.evalNode(id, values, res)
 		if len(s.waves[id]) > 0 {
-			for _, fo := range s.combFanout[id] {
-				if !s.inSched[fo] {
-					s.inSched[fo] = true
-					visit = append(visit, fo) //alloc-ok (reused buffer, growth amortizes)
-					heap = heapPush(heap, s.topoPos[fo])
-				}
+			if mf := s.maxFanoutPos[id]; mf > maxReach {
+				maxReach = mf
 			}
 		}
 	}
-	for _, id := range visit {
-		s.inSched[id] = false
+}
+
+// mergedSchedule returns the topo-sorted union of the struck gates'
+// combinational fanout cones, memoized by the struck-gate id list.
+func (s *Simulator) mergedSchedule() []netlist.NodeID {
+	key := s.keyBuf[:0]
+	for _, g := range s.touched {
+		key = append(key, byte(g), byte(uint32(g)>>8), byte(uint32(g)>>16), byte(uint32(g)>>24))
 	}
-	s.heapBuf = heap
-	s.visitBuf = visit[:0]
+	s.keyBuf = key
+	if sched := s.cones.getMerged(key); sched != nil {
+		return sched
+	}
+	seen := make(map[netlist.NodeID]bool)
+	var cone []netlist.NodeID
+	for _, g := range s.touched {
+		if !seen[g] {
+			seen[g] = true
+			cone = append(cone, g)
+		}
+	}
+	for head := 0; head < len(cone); head++ {
+		for _, fo := range s.combFanout[cone[head]] {
+			if !seen[fo] {
+				seen[fo] = true
+				cone = append(cone, fo)
+			}
+		}
+	}
+	slices.SortFunc(cone, func(a, b netlist.NodeID) int {
+		return int(s.topoPos[a]) - int(s.topoPos[b])
+	})
+	return s.cones.putMerged(append([]byte(nil), key...), cone)
 }
 
 // sweepCone walks a single struck gate's cached cone schedule, stopping
@@ -410,44 +455,6 @@ func (s *Simulator) sweepCone(g netlist.NodeID, values func(netlist.NodeID) bool
 			}
 		}
 	}
-}
-
-func heapPush(h []int32, x int32) []int32 {
-	h = append(h, x)
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h[p] <= h[i] {
-			break
-		}
-		h[p], h[i] = h[i], h[p]
-		i = p
-	}
-	return h
-}
-
-func heapPop(h []int32) ([]int32, int32) {
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h = h[:n]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		c := l
-		if r := l + 1; r < n && h[r] < h[l] {
-			c = r
-		}
-		if h[i] <= h[c] {
-			break
-		}
-		h[i], h[c] = h[c], h[i]
-		i = c
-	}
-	return h, top
 }
 
 // evalNode (re)evaluates one combinational node of the sweep: if any
@@ -541,12 +548,61 @@ func (s *Simulator) latchCheck(values func(netlist.NodeID) bool, res *Result) {
 // propagate computes the fault waveform at a gate's output (before
 // delay/attenuation) from its fanin waveforms by sweeping the combined
 // event points: within each span between events, every fanin has a
-// constant flip state, so the output flip state is a single cell
-// evaluation against the fault-free values. The returned slice is
-// scratch owned by the simulator, valid until the next propagate call.
+// constant flip state, so the output flip state is one cell evaluation
+// against the fault-free values. Cell evaluation is lane-wise bitwise
+// (the 64-lane logic simulator runs on the same EvalCell), so up to 64
+// spans are evaluated per call: lane k carries span k's input state —
+// the fault-free value broadcast, XORed with the span's flip bit. The
+// returned slice is scratch owned by the simulator, valid until the
+// next propagate call.
 func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) bool) []Interval {
 	node := s.nl.Node(id)
 	fi := node.Fanin
+
+	waved, wi := 0, -1
+	for j, f := range fi {
+		if len(s.waves[f]) > 0 {
+			waved++
+			wi = j
+		}
+	}
+	if waved == 0 {
+		return nil
+	}
+	var in [8]uint64
+	args := in[:]
+	if len(fi) > len(in) {
+		args = s.argBuf
+	}
+	args = args[:len(fi)]
+	if waved == 1 {
+		// Exactly one fanin carries a waveform, so its flip state is
+		// the only thing that varies across spans: either it
+		// sensitizes the output (every span flips — the output
+		// waveform is the fanin's, with touching intervals coalesced)
+		// or it doesn't (no output response). One two-lane cell
+		// evaluation decides which: lane 0 is the fault-free input
+		// state, lane 1 flips the waved fanin.
+		for j, f := range fi {
+			base := uint64(0)
+			if values(f) {
+				base = ^uint64(0)
+			}
+			if j == wi {
+				base ^= 2
+			}
+			args[j] = base
+		}
+		outw := netlist.EvalCell(node.Type, args)
+		out := s.propBuf[:0]
+		if (outw^outw>>1)&1 == 1 {
+			for _, iv := range s.waves[fi[wi]] {
+				out = appendMerged(out, iv)
+			}
+		}
+		s.propBuf = out
+		return out
+	}
 
 	// Gather event points.
 	events := s.events[:0]
@@ -556,24 +612,45 @@ func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) boo
 		}
 	}
 	s.events = events
-	if len(events) == 0 {
-		return nil
-	}
 	sort.Float64s(events)
 	events = dedupFloats(events)
 
-	nominalOut := s.evalCell(node.Type, fi, values, nil)
-	flips := s.flips[:len(fi)]
+	// The fault-free output needs no evaluation: values is the
+	// consistent post-Eval state, so the node's own recorded value is
+	// its cell function over the recorded fanin values.
+	nominalOut := uint64(0)
+	if values(id) {
+		nominalOut = ^uint64(0)
+	}
 	out := s.propBuf[:0]
-	// Evaluate within each span [events[i], events[i+1]).
+	spans := len(events) - 1
+	// Evaluate within each span [events[k], events[k+1]), 64 at a time.
 	//hot
-	for i := 0; i+1 < len(events); i++ {
-		mid := (events[i] + events[i+1]) / 2
-		for j, f := range fi {
-			flips[j] = covered(s.waves[f], mid)
+	for chunk := 0; chunk < spans; chunk += 64 {
+		n := spans - chunk
+		if n > 64 {
+			n = 64
 		}
-		if s.evalCell(node.Type, fi, values, flips) != nominalOut {
-			out = appendMerged(out, Interval{events[i], events[i+1]})
+		for j, f := range fi {
+			base := uint64(0)
+			if values(f) {
+				base = ^uint64(0)
+			}
+			if w := s.waves[f]; len(w) > 0 {
+				for k := 0; k < n; k++ {
+					mid := (events[chunk+k] + events[chunk+k+1]) / 2
+					if covered(w, mid) {
+						base ^= 1 << uint(k)
+					}
+				}
+			}
+			args[j] = base
+		}
+		flipped := netlist.EvalCell(node.Type, args) ^ nominalOut
+		for k := 0; k < n; k++ {
+			if flipped>>uint(k)&1 == 1 {
+				out = appendMerged(out, Interval{events[chunk+k], events[chunk+k+1]})
+			}
 		}
 	}
 	s.propBuf = out
@@ -592,29 +669,6 @@ func conditionWith(w []Interval, delay, att, minPulse float64) []Interval {
 		out = append(out, Interval{Start: iv.Start + delay, End: iv.Start + delay + width})
 	}
 	return out
-}
-
-// evalCell evaluates a cell with fault-free values; flips, when non-nil,
-// is parallel to fanin and marks inputs to invert.
-func (s *Simulator) evalCell(t netlist.CellType, fanin []netlist.NodeID, values func(netlist.NodeID) bool, flips []bool) bool {
-	var in [8]uint64
-	args := in[:]
-	if len(fanin) > len(in) {
-		args = s.argBuf
-	}
-	args = args[:len(fanin)]
-	for i, f := range fanin {
-		v := values(f)
-		if flips != nil && flips[i] {
-			v = !v
-		}
-		if v {
-			args[i] = 1
-		} else {
-			args[i] = 0
-		}
-	}
-	return netlist.EvalCell(t, args)&1 == 1
 }
 
 func covered(w []Interval, t float64) bool {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint fuzz-smoke
+.PHONY: build test race bench bench-smoke lint fuzz-smoke smoke-server
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/montecarlo/... ./internal/timingsim/... ./internal/logicsim/... ./internal/stats/... ./internal/sampling/...
+	$(GO) test -race ./internal/montecarlo/... ./internal/timingsim/... ./internal/logicsim/... ./internal/stats/... ./internal/sampling/... ./internal/server/...
+
+# smoke-server is the evaluation-service e2e check: build cmd/ssfserver,
+# submit a job over HTTP, stream its SSE progress, kill the server after
+# its first checkpoints, restart it on the same store, and require the
+# resumed result to be bit-identical to an uninterrupted run.
+smoke-server:
+	./scripts/smoke_ssfserver.sh
 
 # lint runs the full static-analysis stack: go vet, the project's custom
 # determinism analyzers (cmd/vetall), the netlist/model linter over the

@@ -48,6 +48,30 @@ const (
 	RegisterAttack
 )
 
+// String returns the display name.
+func (m Mode) String() string {
+	switch m {
+	case GateAttack:
+		return "gate"
+	case RegisterAttack:
+		return "register"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode is the inverse of Mode.String.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "gate":
+		return GateAttack, nil
+	case "register":
+		return RegisterAttack, nil
+	default:
+		return 0, fmt.Errorf("montecarlo: unknown attack mode %q", s)
+	}
+}
+
 // OutcomeClass buckets where the latched errors ended up (Fig 10(a)).
 type OutcomeClass int
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/netlist"
 	"repro/internal/sampling"
 	"repro/internal/timingsim"
 )
@@ -18,7 +19,25 @@ import (
 // the whole campaign's. Use MergeSequential when o is a same-engine
 // continuation of c (the chunked adaptive rounds), where the
 // concatenated order is real.
-func (c *Campaign) Merge(o *Campaign) {
+//
+// Merge errors when the campaigns are statistically incomparable:
+// importance weights are likelihood ratios against one proposal, so
+// folding estimators from different samplers (or class/path counters
+// from different attack modes) would silently produce a biased
+// aggregate. On error the receiver is unchanged.
+func (c *Campaign) Merge(o *Campaign) error {
+	if o == nil {
+		return nil
+	}
+	if c.SamplerName != o.SamplerName {
+		return fmt.Errorf("montecarlo: merge of %q campaign into %q: importance weights are incomparable across samplers", o.SamplerName, c.SamplerName)
+	}
+	if c.Options.Mode != o.Options.Mode {
+		return fmt.Errorf("montecarlo: merge across attack modes (%v into %v)", o.Options.Mode, c.Options.Mode)
+	}
+	if len(o.RegContribution) > 0 && c.RegContribution == nil {
+		c.RegContribution = make(map[netlist.NodeID]float64, len(o.RegContribution))
+	}
 	c.Est.Merge(o.Est)
 	c.Successes += o.Successes
 	c.RTLCycles += o.RTLCycles
@@ -52,6 +71,7 @@ func (c *Campaign) Merge(o *Campaign) {
 	}
 	c.Convergence = nil
 	c.Options.Samples += o.Options.Samples
+	return nil
 }
 
 // MergeSequential folds a continuation chunk into this campaign while
@@ -61,9 +81,12 @@ func (c *Campaign) Merge(o *Campaign) {
 // entries are recomputed as running estimates of the combined campaign
 // — o's own trace is relative to its chunk only. When either side did
 // not track convergence the trace is dropped, as in Merge.
-func (c *Campaign) MergeSequential(o *Campaign) {
+//
+// MergeSequential errors under the same conditions as Merge (sampler
+// or attack-mode mismatch), leaving the receiver unchanged.
+func (c *Campaign) MergeSequential(o *Campaign) error {
 	var conv []float64
-	if c.Convergence != nil && o.Convergence != nil {
+	if o != nil && c.Convergence != nil && o.Convergence != nil {
 		// The k-th chunk entry m_k is the running mean after k terms,
 		// so each weighted term is recoverable as
 		// m_k·k − m_{k−1}·(k−1); replaying the terms on a copy of the
@@ -78,8 +101,11 @@ func (c *Campaign) MergeSequential(o *Campaign) {
 			prev = m
 		}
 	}
-	c.Merge(o)
+	if err := c.Merge(o); err != nil {
+		return err
+	}
 	c.Convergence = conv
+	return nil
 }
 
 // validateEngines checks an engine pool for parallel use.
@@ -127,10 +153,13 @@ func runShards(ctx context.Context, engines []*Engine, sampler sampling.Sampler,
 }
 
 // mergeShards folds shard results in index order, so the merged result
-// is independent of goroutine scheduling. Cancellation is not a shard
-// failure: when the only errors are the context's, the partial shards
-// are merged and returned alongside the context error. Any other shard
-// error (including an isolated panic) fails the whole campaign.
+// is independent of goroutine scheduling. The fold target is a clone of
+// the first contributing shard — never the shard itself — so the
+// entries of results stay intact for callers that retain per-shard
+// campaigns (e.g. a per-shard checkpoint store). Cancellation is not a
+// shard failure: when the only errors are the context's, the partial
+// shards are merged and returned alongside the context error. Any other
+// shard error (including an isolated panic) fails the whole campaign.
 func mergeShards(ctx context.Context, results []*Campaign, errs []error) (*Campaign, error) {
 	// Preallocated to the shard count: the merge runs once per adaptive
 	// round, and growing these inside the round loop shows up in the
@@ -149,15 +178,17 @@ func mergeShards(ctx context.Context, results []*Campaign, errs []error) (*Campa
 		return nil, errors.Join(hard...)
 	}
 	var merged *Campaign
-	for _, r := range results {
+	for i, r := range results {
 		if r == nil || r.Est.N() == 0 {
 			continue
 		}
 		if merged == nil {
-			merged = r
+			merged = r.Clone()
 			continue
 		}
-		merged.Merge(r)
+		if err := merged.Merge(r); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
 	}
 	if merged == nil {
 		if err := ctx.Err(); err != nil {
@@ -262,6 +293,26 @@ type AdaptiveOptions struct {
 	// same options.
 	Batch       bool
 	BatchWindow int
+	// Resume continues a previously checkpointed RunAdaptiveParallel
+	// campaign: the accumulated total restored from a Checkpoint
+	// snapshot of the same options. ResumeRound is the number of rounds
+	// that snapshot had completed — the round counter (and with it the
+	// deterministic per-(round, shard) seeds) continues from there, so
+	// a resumed run is bit-identical to the uninterrupted run with the
+	// same options, provided the snapshot round-tripped exactly
+	// (CampaignSnapshot guarantees this, including through JSON).
+	// RunAdaptive ignores both fields.
+	Resume      *Campaign
+	ResumeRound int64
+	// Checkpoint, when non-nil, is invoked by RunAdaptiveParallel after
+	// every merged round with the number of completed rounds and a deep
+	// copy of the accumulated campaign (safe to retain and serialize;
+	// its Convergence holds the per-round trace when TrackConvergence
+	// is set). Feed the copy back through Resume/ResumeRound to
+	// continue after an interruption. The callback runs on the
+	// orchestrating goroutine between rounds; it must not call back
+	// into the engines. RunAdaptive ignores it.
+	Checkpoint func(rounds int64, total *Campaign)
 }
 
 // DefaultAdaptive returns a criterion targeting ±eps at 5% risk.
@@ -351,7 +402,9 @@ func (e *Engine) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts
 		if total == nil {
 			total = chunk
 		} else if chunk != nil {
-			total.MergeSequential(chunk)
+			if merr := total.MergeSequential(chunk); merr != nil {
+				return opts.finish(total), merr
+			}
 		}
 		if err != nil {
 			return opts.finish(total), err
@@ -374,8 +427,11 @@ func (e *Engine) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts
 // sequential RunAdaptive with the same seed).
 //
 // Cancellation returns the merged partial campaign alongside the
-// context's error; a panicking or failing shard surfaces as an indexed
-// error and fails the campaign.
+// context's error. A panicking or failing shard surfaces as an indexed
+// error and ends the campaign, but the rounds accumulated before the
+// failing round are not discarded: the partial campaign is returned
+// alongside the error, exactly as on cancellation. (The failing round's
+// own shards are dropped — a half-merged round would not be resumable.)
 func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler sampling.Sampler, opts AdaptiveOptions) (*Campaign, error) {
 	if err := validateEngines(engines); err != nil {
 		return nil, err
@@ -394,7 +450,23 @@ func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler samplin
 	}
 	var total *Campaign
 	var conv []float64
-	for round := int64(0); ; round++ {
+	startRound := int64(0)
+	if opts.Resume != nil {
+		total = opts.Resume.Clone()
+		conv = total.Convergence
+		total.Convergence = nil
+		startRound = opts.ResumeRound
+	}
+	// finish restores the per-round convergence trace on every return
+	// path that carries a campaign (normal stop, cancellation, hard
+	// shard failure).
+	finish := func() *Campaign {
+		if total != nil && opts.TrackConvergence {
+			total.Convergence = conv
+		}
+		return opts.finish(total)
+	}
+	for round := startRound; ; round++ {
 		done := 0
 		if total != nil {
 			done = total.Est.N()
@@ -413,21 +485,22 @@ func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler samplin
 		if roundTotal != nil {
 			if total == nil {
 				total = roundTotal
-			} else {
-				total.Merge(roundTotal)
+			} else if merr := total.Merge(roundTotal); merr != nil {
+				return finish(), merr
 			}
 			if opts.TrackConvergence {
 				conv = append(conv, total.Est.Estimate())
 			}
 		}
 		if err != nil {
-			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
-				if total != nil && opts.TrackConvergence {
-					total.Convergence = conv
-				}
-				return opts.finish(total), err
+			return finish(), err
+		}
+		if opts.Checkpoint != nil && total != nil {
+			snap := total.Clone()
+			if opts.TrackConvergence {
+				snap.Convergence = append([]float64(nil), conv...)
 			}
-			return nil, err
+			opts.Checkpoint(round+1, snap)
 		}
 		for i := range engines {
 			agg.rebase(i)
@@ -436,8 +509,5 @@ func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler samplin
 			break
 		}
 	}
-	if total != nil && opts.TrackConvergence {
-		total.Convergence = conv
-	}
-	return opts.finish(total), nil
+	return finish(), nil
 }

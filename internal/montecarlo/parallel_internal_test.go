@@ -1,0 +1,73 @@
+package montecarlo
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// synthetic builds a standalone campaign aggregate for merge tests (no
+// engine needed: mergeShards only touches accumulated state).
+func synthetic(sampler string, mode Mode, vals ...float64) *Campaign {
+	c := &Campaign{
+		SamplerName:     sampler,
+		RegContribution: map[netlist.NodeID]float64{1: float64(len(vals))},
+		Patterns:        map[string]bool{"p" + sampler: true},
+	}
+	c.Options.Mode = mode
+	for _, v := range vals {
+		c.Est.Add(v, 1)
+		if v > 0 {
+			c.Successes++
+		}
+		c.ClassCounts[0]++
+		c.PathCounts[0]++
+	}
+	c.Options.Samples = len(vals)
+	return c
+}
+
+func TestMergeShardsDoesNotAliasShardResults(t *testing.T) {
+	c0 := synthetic("s", GateAttack, 1, 0)
+	c1 := synthetic("s", GateAttack, 0, 0, 1)
+	merged, err := mergeShards(context.Background(), []*Campaign{c0, c1}, []error{nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == c0 || merged == c1 {
+		t.Fatal("merged campaign aliases a shard result")
+	}
+	if merged.Est.N() != 5 {
+		t.Fatalf("merged N = %d", merged.Est.N())
+	}
+	// Mutating the merged campaign — as the server's checkpoint path
+	// does between rounds — must leave the per-shard results intact.
+	merged.Est.Add(5, 1)
+	merged.Successes += 10
+	merged.ClassCounts[1] += 3
+	merged.RegContribution[netlist.NodeID(2)] = 7
+	merged.Patterns["new"] = true
+	if c0.Est.N() != 2 || c0.Successes != 1 || c0.ClassCounts[1] != 0 {
+		t.Errorf("shard 0 counters mutated by post-merge writes: %+v", c0)
+	}
+	if _, ok := c0.RegContribution[netlist.NodeID(2)]; ok {
+		t.Error("shard 0 RegContribution aliased by merged campaign")
+	}
+	if c0.Patterns["new"] {
+		t.Error("shard 0 Patterns aliased by merged campaign")
+	}
+	if c0.RegContribution[netlist.NodeID(1)] != 2 {
+		t.Errorf("shard 0 contribution overwritten: %v", c0.RegContribution)
+	}
+}
+
+func TestMergeShardsSamplerMismatchIsHardError(t *testing.T) {
+	c0 := synthetic("random", GateAttack, 1)
+	c1 := synthetic("importance", GateAttack, 0)
+	_, err := mergeShards(context.Background(), []*Campaign{c0, c1}, []error{nil, nil})
+	if err == nil || !strings.Contains(err.Error(), "sampler") {
+		t.Fatalf("want sampler-mismatch error, got %v", err)
+	}
+}

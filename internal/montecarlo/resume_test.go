@@ -1,0 +1,280 @@
+package montecarlo_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/montecarlo"
+	"repro/internal/sampling"
+)
+
+// panicSampler delegates to an inner sampler until a global draw budget
+// is exhausted, then panics — simulating a shard that dies mid-round.
+type panicSampler struct {
+	inner sampling.Sampler
+	n     int64
+	after int64
+}
+
+func (p *panicSampler) Name() string { return p.inner.Name() }
+
+func (p *panicSampler) Draw(rng *rand.Rand) (fault.Sample, float64) {
+	if atomic.AddInt64(&p.n, 1) > p.after {
+		panic("injected sampler failure")
+	}
+	return p.inner.Draw(rng)
+}
+
+func (p *panicSampler) TimingProbs() []float64 { return p.inner.TimingProbs() }
+
+// A shard failing in round 2 must not discard round 1: the partial
+// campaign accumulated in earlier rounds comes back alongside the
+// error, matching the documented cancellation behavior.
+func TestRunAdaptiveParallelPartialOnShardFailure(t *testing.T) {
+	ev := evaluation(t)
+	engines, err := ev.CloneEngines(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds of 3×100 samples; the budget of 450 draws completes round
+	// 1 (300 draws) and dies partway into round 2.
+	sp := &panicSampler{inner: ev.RandomSampler(), after: 450}
+	opts := montecarlo.AdaptiveOptions{
+		Epsilon:    1e-9, // unreachable: the run ends on the failure
+		Risk:       0.05,
+		MinSamples: 10000,
+		MaxSamples: 10000,
+		CheckEvery: 100,
+		Seed:       21,
+	}
+	camp, err := montecarlo.RunAdaptiveParallel(context.Background(), engines, sp, opts)
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("want shard panic error, got %v", err)
+	}
+	if camp == nil {
+		t.Fatal("partial campaign discarded on shard failure")
+	}
+	if camp.Est.N() != 300 {
+		t.Fatalf("partial campaign has %d samples, want the 300 of round 1", camp.Est.N())
+	}
+	if camp.Options.Samples != 300 {
+		t.Errorf("Options.Samples = %d, want 300", camp.Options.Samples)
+	}
+}
+
+func TestMergeRejectsMismatchedSampler(t *testing.T) {
+	ev := evaluation(t)
+	opts := montecarlo.CampaignOptions{Samples: 50, Seed: 1}
+	c1, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := ev.ImportanceSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ev.Engine.RunCampaign(context.Background(), im, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c1.Est.State()
+	if err := c1.Merge(c2); err == nil {
+		t.Fatal("Merge accepted campaigns from different samplers")
+	}
+	if c1.Est.State() != before {
+		t.Error("failed Merge mutated the receiver")
+	}
+	if err := c1.MergeSequential(c2); err == nil {
+		t.Fatal("MergeSequential accepted campaigns from different samplers")
+	}
+}
+
+func TestMergeRejectsMismatchedMode(t *testing.T) {
+	ev := evaluation(t)
+	c1, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(),
+		montecarlo.CampaignOptions{Samples: 50, Seed: 1, Mode: montecarlo.GateAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(),
+		montecarlo.CampaignOptions{Samples: 50, Seed: 2, Mode: montecarlo.RegisterAttack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Merge(c2); err == nil {
+		t.Fatal("Merge accepted campaigns from different attack modes")
+	}
+}
+
+// MergeSequential's trace replay must stay consistent with the direct
+// weighted union when importance weights are non-unit: every appended
+// entry is the running weighted mean of the concatenated term sequence.
+func TestMergeSequentialImportanceWeights(t *testing.T) {
+	ev := evaluation(t)
+	im, err := ev.ImportanceSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := ev.Engine.RunCampaign(context.Background(), im,
+		montecarlo.CampaignOptions{Samples: 300, Seed: 1, TrackConvergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ev.Engine.RunCampaign(context.Background(), im,
+		montecarlo.CampaignOptions{Samples: 200, Seed: 2, TrackConvergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent reference: the weighted term sums recovered from the
+	// chunks' own running means. sum1 and each prefix sum of chunk 2
+	// give the expected concatenated running means directly.
+	sum1 := c1.SSF() * 300
+	trace2 := append([]float64(nil), c2.Convergence...)
+	if err := c1.MergeSequential(c2); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Est.N() != 500 || len(c1.Convergence) != 500 {
+		t.Fatalf("merged N=%d trace=%d", c1.Est.N(), len(c1.Convergence))
+	}
+	for k, m2 := range trace2 {
+		want := (sum1 + m2*float64(k+1)) / float64(300+k+1)
+		got := c1.Convergence[300+k]
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("merged trace entry %d = %v, want %v", 300+k, got, want)
+		}
+	}
+	if got, want := c1.Convergence[499], c1.SSF(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("trace ends at %v, merged SSF is %v", got, want)
+	}
+}
+
+// Campaign snapshots must round-trip through JSON bit-identically —
+// this is what makes server checkpoint resume exact across restarts.
+func TestCampaignSnapshotJSONRoundTrip(t *testing.T) {
+	ev := evaluation(t)
+	im, err := ev.ImportanceSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ev.Engine.RunCampaign(context.Background(), im, montecarlo.CampaignOptions{
+		Samples: 400, Seed: 3, TrackConvergence: true, TrackPatterns: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap montecarlo.CampaignSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := snap.Campaign()
+	if r.Est.State() != c.Est.State() {
+		t.Fatalf("estimator state changed: %+v vs %+v", r.Est.State(), c.Est.State())
+	}
+	if r.SSF() != c.SSF() || r.Successes != c.Successes || r.RTLCycles != c.RTLCycles {
+		t.Error("scalar aggregates changed over the round trip")
+	}
+	if r.ClassCounts != c.ClassCounts || r.PathCounts != c.PathCounts {
+		t.Error("histograms changed over the round trip")
+	}
+	if len(r.Convergence) != len(c.Convergence) {
+		t.Fatalf("trace length %d vs %d", len(r.Convergence), len(c.Convergence))
+	}
+	for i := range r.Convergence {
+		if r.Convergence[i] != c.Convergence[i] {
+			t.Fatalf("trace entry %d changed: %v vs %v", i, r.Convergence[i], c.Convergence[i])
+		}
+	}
+	if len(r.RegContribution) != len(c.RegContribution) {
+		t.Fatal("register attribution changed size")
+	}
+	for k, v := range c.RegContribution {
+		if r.RegContribution[k] != v {
+			t.Fatalf("contribution of %v changed: %v vs %v", k, r.RegContribution[k], v)
+		}
+	}
+	if len(r.Patterns) != len(c.Patterns) || len(r.PatternCounts) != len(c.PatternCounts) {
+		t.Error("pattern sets changed over the round trip")
+	}
+}
+
+// A run resumed from a JSON-round-tripped checkpoint must finish
+// bit-identical to the uninterrupted run with the same options.
+func TestRunAdaptiveParallelResumeBitIdentical(t *testing.T) {
+	ev := evaluation(t)
+	engines, err := ev.CloneEngines(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := montecarlo.AdaptiveOptions{
+		Epsilon:          1, // fixed-size: min == max pins the total
+		Risk:             0.5,
+		MinSamples:       1200,
+		MaxSamples:       1200,
+		CheckEvery:       200, // rounds of 400 samples, 3 rounds
+		Seed:             9,
+		TrackConvergence: true,
+	}
+	type cp struct {
+		rounds int64
+		data   []byte
+	}
+	var cps []cp
+	opts.Checkpoint = func(rounds int64, total *montecarlo.Campaign) {
+		data, err := json.Marshal(total.Snapshot())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cps = append(cps, cp{rounds: rounds, data: data})
+	}
+	full, err := montecarlo.RunAdaptiveParallel(context.Background(), engines, ev.RandomSampler(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 3 {
+		t.Fatalf("got %d checkpoints, want 3", len(cps))
+	}
+	// Resume from the first checkpoint (after round 1 of 3).
+	var snap montecarlo.CampaignSnapshot
+	if err := json.Unmarshal(cps[0].data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = nil
+	opts.Resume = snap.Campaign()
+	opts.ResumeRound = cps[0].rounds
+	resumed, err := montecarlo.RunAdaptiveParallel(context.Background(), engines, ev.RandomSampler(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Est.State() != full.Est.State() {
+		t.Fatalf("resumed estimator %+v, uninterrupted %+v", resumed.Est.State(), full.Est.State())
+	}
+	if resumed.SSF() != full.SSF() {
+		t.Fatalf("resumed SSF %v, uninterrupted %v", resumed.SSF(), full.SSF())
+	}
+	if resumed.Successes != full.Successes || resumed.ClassCounts != full.ClassCounts ||
+		resumed.PathCounts != full.PathCounts || resumed.RTLCycles != full.RTLCycles {
+		t.Error("resumed aggregates differ from the uninterrupted run")
+	}
+	if len(resumed.Convergence) != len(full.Convergence) {
+		t.Fatalf("trace length %d vs %d", len(resumed.Convergence), len(full.Convergence))
+	}
+	for i := range resumed.Convergence {
+		if resumed.Convergence[i] != full.Convergence[i] {
+			t.Fatalf("trace entry %d: %v vs %v", i, resumed.Convergence[i], full.Convergence[i])
+		}
+	}
+}

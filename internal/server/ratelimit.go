@@ -1,0 +1,59 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a standard continuous-refill token bucket.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiterPool holds one token bucket per tenant. Buckets refill at rate
+// tokens/second up to burst; every accepted request costs one token.
+type limiterPool struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+// newLimiterPool builds a limiter; rate <= 0 disables limiting.
+func newLimiterPool(rate, burst float64) *limiterPool {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiterPool{rate: rate, burst: burst, buckets: make(map[string]*tokenBucket)}
+}
+
+// allow consumes one token from the tenant's bucket. When the bucket is
+// empty it reports false and how long until a token is available — the
+// Retry-After the handler should send. The clock is a parameter so
+// tests can drive it.
+func (l *limiterPool) allow(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[tenant]
+	if !exists {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+elapsed*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(math.Ceil(deficit/l.rate)) * time.Second
+}

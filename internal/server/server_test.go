@@ -1,0 +1,546 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/montecarlo"
+	"repro/internal/stats"
+)
+
+var (
+	poolOnce sync.Once
+	pool     *core.EnginePool
+	poolErr  error
+)
+
+// enginePool builds one shared two-engine pool for the whole package:
+// each engine pays a golden run at construction, and every test server
+// serializes pool use through its own worker anyway.
+func enginePool(t *testing.T) *core.EnginePool {
+	t.Helper()
+	poolOnce.Do(func() {
+		opts := core.DefaultOptions()
+		opts.Precharac.MaxDepth = 51
+		opts.Precharac.TraceCycles = 768
+		opts.Precharac.LifetimeCap = 120
+		opts.Precharac.Probes = 1
+		fw, err := core.Build(opts)
+		if err != nil {
+			poolErr = err
+			return
+		}
+		ev, err := fw.NewEvaluation(core.BenchmarkIllegalWrite, core.DefaultAttackSpec())
+		if err != nil {
+			poolErr = err
+			return
+		}
+		pool, poolErr = ev.NewEnginePool(2)
+	})
+	if poolErr != nil {
+		t.Fatal(poolErr)
+	}
+	return pool
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	srv, err := New(enginePool(t), t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestJobRequestNormalize(t *testing.T) {
+	cases := []struct {
+		name string
+		req  JobRequest
+		ok   bool
+	}{
+		{"neither samples nor epsilon", JobRequest{}, false},
+		{"both samples and epsilon", JobRequest{Samples: 10, Epsilon: 0.1}, false},
+		{"fixed", JobRequest{Samples: 100}, true},
+		{"adaptive", JobRequest{Epsilon: 0.01, Risk: 0.05}, true},
+		{"risk out of range", JobRequest{Epsilon: 0.01, Risk: 1}, false},
+		{"over budget", JobRequest{Samples: 1 << 30}, false},
+		{"unknown sampler", JobRequest{Samples: 10, Sampler: "bogus"}, false},
+		{"unknown mode", JobRequest{Samples: 10, Mode: "weird"}, false},
+		{"negative check_every", JobRequest{Samples: 10, CheckEvery: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.req.normalize(1 << 22)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: error expected", c.name)
+		}
+	}
+
+	r := JobRequest{Samples: 100}
+	if err := r.normalize(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	if r.Sampler != "importance" || r.Mode != "gate" {
+		t.Errorf("defaults not applied: %+v", r)
+	}
+	o := r.adaptiveOptions()
+	if o.MinSamples != 100 || o.MaxSamples != 100 || o.Epsilon != 1 || o.Risk != 0.5 {
+		t.Errorf("fixed-size job not pinned: %+v", o)
+	}
+	if o.CheckEvery != 500 {
+		t.Errorf("CheckEvery default = %d", o.CheckEvery)
+	}
+
+	a := JobRequest{Epsilon: 0.01}
+	if err := a.normalize(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	ao := a.adaptiveOptions()
+	if ao.Risk != 0.05 || ao.MinSamples != 2000 || ao.MaxSamples != 1<<20 {
+		t.Errorf("adaptive defaults: %+v", ao)
+	}
+}
+
+func TestLimiterPool(t *testing.T) {
+	l := newLimiterPool(2, 2)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a", t0); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := l.allow("a", t0)
+	if ok {
+		t.Fatal("request beyond burst accepted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after %v, want (0, 1s]", retry)
+	}
+	// Another tenant has its own bucket.
+	if ok, _ := l.allow("b", t0); !ok {
+		t.Fatal("tenant b should have a fresh bucket")
+	}
+	// After a second at 2 tokens/s the bucket refills.
+	if ok, _ := l.allow("a", t0.Add(time.Second)); !ok {
+		t.Fatal("bucket did not refill")
+	}
+	// Disabled limiter admits everything.
+	free := newLimiterPool(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := free.allow("a", t0); !ok {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	recA := jobRecord{
+		ID: "aaa", Tenant: "t1", State: StateQueued,
+		Request:     JobRequest{Samples: 500, Sampler: "random", Mode: "gate", Seed: 7},
+		SubmittedAt: base.Add(time.Minute),
+		Rounds:      2,
+		Checkpoint: &montecarlo.CampaignSnapshot{
+			SamplerName: "random", Mode: montecarlo.GateAttack,
+			Est: stats.WelfordState{N: 400, Mean: 0.125, M2: 43.75},
+		},
+	}
+	recB := jobRecord{
+		ID: "bbb", State: StateDone, SubmittedAt: base,
+		Request: JobRequest{Samples: 100},
+		Result:  &JobResult{SSF: 0.25, Samples: 100},
+	}
+	for _, rec := range []jobRecord{recA, recB} {
+		if err := st.Save(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A corrupt file is reported and skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "job-ccc.json"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, errs := st.Load()
+	if len(errs) != 1 {
+		t.Fatalf("want 1 recovery error, got %v", errs)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("want 2 records, got %d", len(recs))
+	}
+	// Sorted by submission time: bbb (earlier) first.
+	if recs[0].ID != "bbb" || recs[1].ID != "aaa" {
+		t.Fatalf("order %s, %s", recs[0].ID, recs[1].ID)
+	}
+	got := recs[1]
+	if got.Checkpoint == nil || got.Checkpoint.Est != recA.Checkpoint.Est {
+		t.Fatalf("checkpoint state changed: %+v", got.Checkpoint)
+	}
+	if got.Rounds != 2 || got.Request != recA.Request || got.Tenant != "t1" {
+		t.Fatalf("record changed: %+v", got)
+	}
+	// Overwrite is atomic and last-write-wins.
+	recA.State = StateDone
+	if err := st.Save(recA); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = st.Load()
+	if recs[1].State != StateDone {
+		t.Fatal("overwrite not visible")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	// QueueDepth 1 and no Start: the first submission parks in the
+	// queue, the second must be rejected with 429 + Retry-After.
+	srv := newTestServer(t, Config{QueueDepth: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"samples": 100, "sampler": "random"}`
+	r1, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", r1.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: %d, want 429", r2.StatusCode)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func TestRateLimitHTTP(t *testing.T) {
+	srv := newTestServer(t, Config{RatePerSec: 0.1, Burst: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Burst of 1: the first request consumes the token (an invalid body
+	// still counts — the limiter runs first), the second is limited.
+	r1, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusBadRequest {
+		t.Fatalf("first request: %d, want 400", r1.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", r2.StatusCode)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// A different tenant is unaffected.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader("{}"))
+	req.Header.Set("X-Tenant", "other")
+	r3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("other tenant: %d, want 400", r3.StatusCode)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes an event stream until it closes.
+func readSSE(t *testing.T, body *bufio.Reader) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	for {
+		line, err := body.ReadString('\n')
+		if err != nil {
+			return events
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+}
+
+func TestJobLifecycleAndSSE(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	srv.Start()
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := JobRequest{Samples: 600, CheckEvery: 100, Sampler: "random", Seed: 5}
+	buf, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" || st.State != StateQueued {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, st)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	evReq, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+	evResp, err := http.DefaultClient.Do(evReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	if ct := evResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	events := readSSE(t, bufio.NewReader(evResp.Body))
+	if len(events) == 0 {
+		t.Fatal("no SSE events")
+	}
+	progress := 0
+	for _, e := range events[:len(events)-1] {
+		if e.name != "progress" {
+			t.Fatalf("unexpected mid-stream event %q", e.name)
+		}
+		progress++
+	}
+	if progress == 0 {
+		t.Error("no progress events before the terminal event")
+	}
+	final := events[len(events)-1]
+	if final.name != StateDone {
+		t.Fatalf("terminal event %q, want done", final.name)
+	}
+	var finalStatus JobStatus
+	if err := json.Unmarshal([]byte(final.data), &finalStatus); err != nil {
+		t.Fatal(err)
+	}
+	if finalStatus.Result == nil || finalStatus.Result.Samples != 600 {
+		t.Fatalf("terminal event result: %+v", finalStatus.Result)
+	}
+
+	// GET status agrees with the stream, and the result matches a direct
+	// run of the identical options on the same pool exactly.
+	gr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got JobStatus
+	if err := json.NewDecoder(gr.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if got.State != StateDone || got.Result == nil {
+		t.Fatalf("status after done: %+v", got)
+	}
+	norm := req
+	if err := norm.normalize(srv.cfg.MaxSamples); err != nil {
+		t.Fatal(err)
+	}
+	srv.poolMu.Lock()
+	ref, err := montecarlo.RunAdaptiveParallel(context.Background(),
+		srv.pool.Engines, srv.pool.Evaluation.RandomSampler(), norm.adaptiveOptions())
+	srv.poolMu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.SSF != ref.SSF() || got.Result.Samples != ref.Est.N() ||
+		got.Result.Successes != ref.Successes {
+		t.Fatalf("server result %+v, direct run SSF %v N %d", got.Result, ref.SSF(), ref.Est.N())
+	}
+
+	// A late subscriber to a finished job gets the terminal event
+	// immediately.
+	lateResp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := readSSE(t, bufio.NewReader(lateResp.Body))
+	lateResp.Body.Close()
+	if len(late) == 0 || late[len(late)-1].name != StateDone {
+		t.Fatalf("late subscriber events: %+v", late)
+	}
+}
+
+func TestRestartResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	p := enginePool(t)
+	srv, err := New(p, dir, Config{CheckpointEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+
+	req := JobRequest{Samples: 6000, CheckEvery: 60, Sampler: "random", Seed: 11}
+	if err := req.normalize(srv.cfg.MaxSamples); err != nil {
+		t.Fatal(err)
+	}
+	j, err := srv.submit("default", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until at least two rounds are checkpointed, then pull the
+	// plug mid-job.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint progress; job state %s", j.state())
+		}
+		if j.status().Rounds >= 2 {
+			break
+		}
+		if st := j.state(); st == StateDone || st == StateFailed {
+			t.Fatalf("job reached %s before the shutdown; raise Samples", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.Shutdown()
+	if st := j.state(); st != StateQueued {
+		t.Fatalf("after shutdown job is %s, want queued for resume", st)
+	}
+
+	// A fresh server over the same store must pick the job up from its
+	// checkpoint and finish bit-identical to an uninterrupted run.
+	srv2, err := New(p, dir, Config{CheckpointEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, ok := srv2.job(j.snapshotRecord().ID)
+	if !ok {
+		t.Fatal("restarted server lost the job")
+	}
+	if j2.state() != StateQueued {
+		t.Fatalf("restarted job state %s", j2.state())
+	}
+	if j2.snapshotRecord().Checkpoint == nil {
+		t.Fatal("restarted job lost its checkpoint")
+	}
+	srv2.Start()
+	defer srv2.Shutdown()
+	deadline = time.Now().Add(120 * time.Second)
+	for j2.state() != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck in %s", j2.state())
+		}
+		if j2.state() == StateFailed {
+			t.Fatalf("resumed job failed: %s", j2.snapshotRecord().Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got := j2.snapshotRecord().Result
+
+	ref, err := montecarlo.RunAdaptiveParallel(context.Background(),
+		p.Engines, p.Evaluation.RandomSampler(), req.adaptiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.SSF != ref.SSF() || got.Samples != ref.Est.N() ||
+		got.Successes != ref.Successes || got.Variance != ref.Variance() {
+		t.Fatalf("resumed result %+v; uninterrupted SSF %v N %d successes %d",
+			got, ref.SSF(), ref.Est.N(), ref.Successes)
+	}
+	if got.ClassCounts != ref.ClassCounts || got.PathCounts != ref.PathCounts {
+		t.Error("resumed histograms differ from the uninterrupted run")
+	}
+}
+
+func TestRankDeterministic(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	req := RankRequest{
+		Samples: 800,
+		Sampler: "importance",
+		Seed:    3,
+		Variants: []RankVariant{
+			{Name: "top3", TopN: 3},
+			{Name: "top8", TopN: 8},
+			{Name: "share60", Share: 0.6},
+		},
+	}
+	if err := req.normalize(srv.cfg.MaxSamples, srv.cfg.MaxVariants); err != nil {
+		t.Fatal(err)
+	}
+	first, err := srv.rank(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := srv.rank(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("rank not deterministic:\n%+v\n%+v", first, second)
+	}
+	if len(first.Entries) != 3 {
+		t.Fatalf("leaderboard has %d entries", len(first.Entries))
+	}
+	for i, e := range first.Entries {
+		if e.Rank != i+1 {
+			t.Fatalf("entry %d has rank %d", i, e.Rank)
+		}
+		if i > 0 && e.SSF < first.Entries[i-1].SSF {
+			t.Fatal("leaderboard not sorted by hardened SSF")
+		}
+		if e.NumRegs == 0 || e.AreaOverhead <= 0 {
+			t.Errorf("entry %q missing hardening accounting: %+v", e.Name, e)
+		}
+	}
+	// Hardening more registers costs more area.
+	byName := map[string]RankEntry{}
+	for _, e := range first.Entries {
+		byName[e.Name] = e
+	}
+	if byName["top8"].AreaOverhead <= byName["top3"].AreaOverhead {
+		t.Errorf("top8 overhead %v not above top3 %v",
+			byName["top8"].AreaOverhead, byName["top3"].AreaOverhead)
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// sseMsg is one server-sent event: an event name and a single-line JSON
+// payload.
+type sseMsg struct {
+	event string
+	data  []byte
+}
+
+// sseHub fans a job's event stream out to any number of subscribers.
+// Progress events are idempotent snapshots, so a slow subscriber simply
+// skips intermediate ones (its channel drops new events when full); the
+// terminal event is delivered through the hub state instead of the
+// channel, so it is never lost to that policy.
+type sseHub struct {
+	mu    sync.Mutex
+	subs  map[chan sseMsg]struct{}
+	last  *sseMsg // latest progress event, replayed to new subscribers
+	final *sseMsg // terminal event; set once, then the hub is closed
+}
+
+func newSSEHub() *sseHub {
+	return &sseHub{subs: make(map[chan sseMsg]struct{})}
+}
+
+// publish broadcasts a progress event.
+func (h *sseHub) publish(m sseMsg) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.final != nil {
+		return
+	}
+	h.last = &m
+	for ch := range h.subs {
+		select {
+		case ch <- m:
+		default: // slow subscriber: skip this snapshot
+		}
+	}
+}
+
+// finish broadcasts the terminal event and closes every subscriber.
+func (h *sseHub) finish(m sseMsg) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.final != nil {
+		return
+	}
+	h.final = &m
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = make(map[chan sseMsg]struct{})
+}
+
+// subscribe registers a subscriber and returns the replayed backlog
+// (latest progress, terminal event if already finished), the live
+// channel (nil when the job is already terminal), and an unsubscribe
+// func.
+func (h *sseHub) subscribe() (backlog []sseMsg, ch chan sseMsg, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.last != nil {
+		backlog = append(backlog, *h.last)
+	}
+	if h.final != nil {
+		backlog = append(backlog, *h.final)
+		return backlog, nil, func() {}
+	}
+	ch = make(chan sseMsg, 16)
+	h.subs[ch] = struct{}{}
+	return backlog, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// writeSSE writes one event in text/event-stream framing.
+func writeSSE(w *bufio.Writer, m sseMsg) error {
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", m.event, m.data); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// flusher adapts http.ResponseWriter for buffered SSE writes.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if err == nil {
+		fw.f.Flush()
+	}
+	return n, err
+}

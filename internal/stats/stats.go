@@ -76,6 +76,28 @@ func (w *Welford) SamplesForRisk(eps, delta float64) int {
 	return int(math.Ceil(w.Variance() / (delta * eps * eps)))
 }
 
+// WelfordState is the exported snapshot of a Welford accumulator, used
+// to serialize estimators (e.g. campaign checkpoints). The fields are
+// the exact internal state, so a State/FromWelfordState round trip —
+// including a trip through encoding/json, which emits the shortest
+// representation that parses back to the same float64 — reproduces the
+// accumulator bit-identically.
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// State snapshots the accumulator.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// FromWelfordState reconstructs an accumulator from a snapshot.
+func FromWelfordState(s WelfordState) Welford {
+	return Welford{n: s.N, mean: s.Mean, m2: s.M2}
+}
+
 // Merge folds another accumulator into this one, as if every
 // observation of o had been Added here (Chan et al. parallel variance).
 func (w *Welford) Merge(o Welford) {
@@ -123,6 +145,15 @@ func (e *Weighted) LLNBound(eps float64) float64 { return e.inner.LLNBound(eps) 
 
 // Merge folds another weighted estimator into this one.
 func (e *Weighted) Merge(o Weighted) { e.inner.Merge(o.inner) }
+
+// State snapshots the estimator for serialization; see WelfordState for
+// the exactness guarantee.
+func (e *Weighted) State() WelfordState { return e.inner.State() }
+
+// FromWeightedState reconstructs an estimator from a snapshot.
+func FromWeightedState(s WelfordState) Weighted {
+	return Weighted{inner: FromWelfordState(s)}
+}
 
 // Histogram counts observations in fixed-width bins over [min, max);
 // finite values outside the range are clamped into the first/last bin

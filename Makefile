@@ -9,7 +9,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/montecarlo/... ./internal/timingsim/... ./internal/logicsim/... ./internal/stats/... ./internal/sampling/... ./internal/server/...
+	$(GO) test -race ./internal/montecarlo/... ./internal/timingsim/... ./internal/logicsim/... ./internal/stats/... ./internal/sampling/... ./internal/server/... ./internal/precharac/... ./internal/netlist/... ./internal/core/...
 
 # smoke-server is the evaluation-service e2e check: build cmd/ssfserver,
 # submit a job over HTTP, stream its SSE progress, kill the server after
@@ -34,23 +34,29 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "lint: govulncheck not installed, skipping"; fi
 
-# fuzz-smoke gives the serializer fuzz target a short budget: enough to
-# catch parser regressions without stalling CI.
+# fuzz-smoke gives the fuzz targets a short budget each: enough to
+# catch parser or evaluator-equivalence regressions without stalling CI.
 fuzz-smoke:
 	$(GO) test ./internal/netlist/ -fuzz FuzzNetlistDeserialize -fuzztime=20s
+	$(GO) test ./internal/logicsim/ -run '^FuzzPlanEquivalence$$' -fuzz '^FuzzPlanEquivalence$$' -fuzztime=20s
 
 # bench regenerates the committed perf records: BENCH_runonce.json (the
 # per-run hot path: ns/op + allocs/op for RunOnce, GateInjection,
-# RTLCycle) and BENCH_campaign.json (campaign throughput, scalar vs
-# lane-batched, with the speedup ratio).
+# RTLCycle), BENCH_campaign.json (campaign throughput, scalar vs
+# lane-batched, with the speedup ratio), and BENCH_lanes.json (batched
+# throughput across the 64/256/512-lane resume widths).
 bench:
 	$(GO) run ./cmd/benchjson -suite runonce -out BENCH_runonce.json
 	$(GO) run ./cmd/benchjson -suite campaign -out BENCH_campaign.json
+	$(GO) run ./cmd/benchjson -suite lanes -out BENCH_lanes.json
 
 # bench-smoke is the cheap CI guard: the hot-path benchmarks must still
-# compile and run, and a fresh runonce record must stay within tolerance
-# of the committed one (generous 0.75 to absorb shared-runner noise).
+# compile and run (including every lane width), and fresh runonce and
+# lanes records must stay within tolerance of the committed ones
+# (generous 0.75 to absorb shared-runner noise).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunOnce$$|BenchmarkGateInjection$$|BenchmarkCampaignBatched$$' -benchtime=100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkRunOnce$$|BenchmarkGateInjection$$|BenchmarkCampaignBatched$$|BenchmarkCampaignLanes(64|256|512)$$' -benchtime=100x .
 	$(GO) run ./cmd/benchjson -suite runonce -out /tmp/bench_smoke.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.75 BENCH_runonce.json /tmp/bench_smoke.json
+	$(GO) run ./cmd/benchjson -suite lanes -out /tmp/bench_lanes_smoke.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 0.75 BENCH_lanes.json /tmp/bench_lanes_smoke.json

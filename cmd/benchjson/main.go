@@ -7,6 +7,10 @@
 //   - BENCH_campaign.json (-suite campaign): campaign throughput
 //     (ns/op and samples/sec) of the scalar and lane-batched execution
 //     paths, plus the batched-over-scalar speedup.
+//   - BENCH_lanes.json (-suite lanes): batched campaign throughput
+//     across resume widths — scalar baseline, then 64, 256, and 512
+//     virtual lanes per pass. Fixed-seed results are bit-identical at
+//     every width; only the throughput differs.
 //
 // It uses the same setup as the root go-bench harness, so the numbers
 // are comparable to `go test -bench`.
@@ -19,7 +23,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-suite runonce|campaign] [-out FILE]
+//	go run ./cmd/benchjson [-suite runonce|campaign|lanes] [-out FILE]
 //	go run ./cmd/benchjson -compare [-tolerance T] old.json new.json
 package main
 
@@ -58,7 +62,7 @@ type benchFile struct {
 
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
-	suite := flag.String("suite", "runonce", "benchmark suite: runonce | campaign")
+	suite := flag.String("suite", "runonce", "benchmark suite: runonce | campaign | lanes")
 	compare := flag.Bool("compare", false, "compare two records (old.json new.json) instead of benchmarking")
 	tolerance := flag.Float64("tolerance", 0.25, "compare: allowed fractional ns/op growth before failing")
 	flag.Parse()
@@ -79,6 +83,8 @@ func main() {
 		results = runOnceSuite()
 	case "campaign":
 		results = campaignSuite()
+	case "lanes":
+		results = lanesSuite()
 	default:
 		fatal(fmt.Errorf("unknown suite %q", *suite))
 	}
@@ -208,6 +214,40 @@ func campaignSuite() []benchResult {
 				b.Fatal(err)
 			}
 			opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1, Batch: cfg.batch}
+			b.ResetTimer()
+			if _, err := ev.Engine.RunCampaign(b.Context(), sp, opts); err != nil {
+				b.Fatal(err)
+			}
+		})
+		res.SamplesPerSec = 1e9 / res.NsPerOp
+	}
+	return results
+}
+
+// lanesSuite measures batched campaign throughput across resume
+// widths: the scalar baseline, then 64, 256, and 512 virtual lanes per
+// combinational pass. Same workload, sampler, and seed as the campaign
+// suite, so CampaignScalar is directly comparable across records.
+func lanesSuite() []benchResult {
+	_, ev := setup()
+	var results []benchResult
+	for _, cfg := range []struct {
+		name  string
+		batch bool
+		lanes int
+	}{
+		{"CampaignScalar", false, 0},
+		{"CampaignLanes64", true, 64},
+		{"CampaignLanes256", true, 256},
+		{"CampaignLanes512", true, 512},
+	} {
+		res := record(&results, cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sp, err := ev.ImportanceSampler()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1, Batch: cfg.batch, Lanes: cfg.lanes}
 			b.ResetTimer()
 			if _, err := ev.Engine.RunCampaign(b.Context(), sp, opts); err != nil {
 				b.Fatal(err)

@@ -46,6 +46,7 @@ func main() {
 	maxSamples := flag.Int("max-samples", 1<<20, "adaptive: hard cap on total samples")
 	progress := flag.Bool("progress", stderrIsTerminal(), "print a live progress line to stderr")
 	batch := flag.Bool("batch", false, "use the lane-batched speculative resume (gate/register modes)")
+	lanes := flag.Int("lanes", 0, "batched: virtual lanes per resume pass (64 | 256 | 512; 0 = default 512)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the campaign to this file")
 	flag.Parse()
@@ -106,7 +107,7 @@ func main() {
 		}
 	}
 
-	copts := montecarlo.CampaignOptions{Samples: *samples, Seed: *seed, Progress: prog, Batch: *batch}
+	copts := montecarlo.CampaignOptions{Samples: *samples, Seed: *seed, Progress: prog, Batch: *batch, Lanes: *lanes}
 	var camp *montecarlo.Campaign
 	workers := 1
 	if *cpuProfile != "" {
@@ -139,6 +140,7 @@ func main() {
 			aopts.MaxSamples = *maxSamples
 			aopts.Progress = prog
 			aopts.Batch = *batch
+			aopts.Lanes = *lanes
 			camp, err = pool.RunAdaptive(ctx, sp, aopts)
 		} else if pool.Size() > 1 {
 			camp, err = pool.Run(ctx, sp, copts)

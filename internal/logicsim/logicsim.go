@@ -21,52 +21,64 @@ const AllLanes = ^uint64(0)
 
 // Simulator evaluates a netlist cycle by cycle. It is not safe for
 // concurrent use; clone one per goroutine with Fork.
+//
+// Evaluation runs over the compiled struct-of-arrays Plan (flat value
+// array, packed op stream, contiguous fanin pool); the original
+// pointer-walking sweep over netlist.Node is retained behind
+// SetReferenceEval for equivalence testing.
 type Simulator struct {
-	nl    *netlist.Netlist
-	order []netlist.NodeID
-	vals  []uint64
+	nl   *netlist.Netlist
+	plan *Plan
+	vals []uint64
 	// latchBuf and argBuf are per-simulator scratch so the per-cycle
 	// Latch/Eval hot path allocates nothing.
 	latchBuf []uint64
 	argBuf   []uint64 // spill for cells with more than 8 fanins
+	// order and reference drive the pointer-walking reference
+	// evaluator; order is shared across forks like the plan.
+	order     []netlist.NodeID
+	reference bool
 }
 
-// New builds a simulator for the netlist. The netlist must be valid; the
-// combinational topological order is computed once and reused every
+// New builds a simulator for the netlist. The netlist must be valid and
+// must not be mutated afterwards; the evaluation plan (including the
+// combinational topological order) is compiled once and reused every
 // cycle. Registers power on to their declared init values.
 func New(nl *netlist.Netlist) (*Simulator, error) {
 	order, err := nl.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
+	plan, err := Compile(nl)
+	if err != nil {
+		return nil, err
+	}
 	s := &Simulator{
 		nl:       nl,
+		plan:     plan,
 		order:    order,
 		vals:     make([]uint64, nl.NumNodes()),
 		latchBuf: make([]uint64, len(nl.Regs())),
 	}
-	maxFanin := 0
-	for i := 0; i < nl.NumNodes(); i++ {
-		if l := len(nl.Node(netlist.NodeID(i)).Fanin); l > maxFanin {
-			maxFanin = l
-		}
-	}
-	if maxFanin > 8 {
-		s.argBuf = make([]uint64, maxFanin)
+	if plan.maxFanin > 8 {
+		s.argBuf = make([]uint64, plan.maxFanin)
 	}
 	s.Reset()
 	return s, nil
 }
 
-// Fork returns an independent simulator sharing the (immutable) netlist
-// and topological order but with its own value state, initialized to a
-// copy of the receiver's current state.
+// Fork returns an independent simulator sharing the immutable netlist,
+// compiled plan, and topological order, but with its own value state,
+// initialized to a deep copy of the receiver's current state — forks
+// never observe each other's evaluations.
 func (s *Simulator) Fork() *Simulator {
 	c := &Simulator{
-		nl:       s.nl,
-		order:    s.order,
-		vals:     make([]uint64, len(s.vals)),
-		latchBuf: make([]uint64, len(s.latchBuf)),
+		nl:        s.nl,
+		plan:      s.plan,
+		order:     s.order,
+		vals:      make([]uint64, len(s.vals)),
+		latchBuf:  make([]uint64, len(s.latchBuf)),
+		reference: s.reference,
 	}
 	if s.argBuf != nil {
 		c.argBuf = make([]uint64, len(s.argBuf))
@@ -75,20 +87,24 @@ func (s *Simulator) Fork() *Simulator {
 	return c
 }
 
+// Plan returns the compiled evaluation plan. It is immutable and shared
+// by every fork (and by wide-lane simulators built over this design);
+// callers must treat it as read-only.
+func (s *Simulator) Plan() *Plan { return s.plan }
+
+// SetReferenceEval switches Eval/Latch between the compiled SoA plan
+// (the default) and the original pointer-walking sweep over
+// netlist.Node. The two are bit-identical; the reference path exists
+// for equivalence testing and debugging. Forks inherit the setting.
+func (s *Simulator) SetReferenceEval(on bool) { s.reference = on }
+
 // Netlist returns the simulated netlist.
 func (s *Simulator) Netlist() *netlist.Netlist { return s.nl }
 
 // Reset restores every register to its power-on value (in all lanes) and
 // clears every input.
 func (s *Simulator) Reset() {
-	for i := range s.vals {
-		s.vals[i] = 0
-	}
-	for _, r := range s.nl.Regs() {
-		if s.nl.Node(r).Init {
-			s.vals[r] = AllLanes
-		}
-	}
+	s.plan.Reset(s.vals)
 }
 
 // SetInput drives a primary input with a 64-lane word.
@@ -111,6 +127,16 @@ func (s *Simulator) SetInputBool(id netlist.NodeID, v bool) {
 // Eval propagates the current input and register values through the
 // combinational logic. It does not advance registers.
 func (s *Simulator) Eval() {
+	if s.reference {
+		s.evalReference()
+		return
+	}
+	s.plan.Eval(s.vals)
+}
+
+// evalReference is the original pointer-walking combinational sweep,
+// kept as the equivalence oracle for the compiled plan.
+func (s *Simulator) evalReference() {
 	var in [8]uint64
 	for _, id := range s.order {
 		node := s.nl.Node(id)
@@ -130,14 +156,18 @@ func (s *Simulator) Eval() {
 // Latch advances every register: each DFF captures the current value of
 // its data input. Callers normally use Step, which evaluates first.
 func (s *Simulator) Latch() {
-	regs := s.nl.Regs()
-	next := s.latchBuf
-	for i, r := range regs {
-		next[i] = s.vals[s.nl.Node(r).Fanin[0]]
+	if s.reference {
+		regs := s.nl.Regs()
+		next := s.latchBuf
+		for i, r := range regs {
+			next[i] = s.vals[s.nl.Node(r).Fanin[0]]
+		}
+		for i, r := range regs {
+			s.vals[r] = next[i]
+		}
+		return
 	}
-	for i, r := range regs {
-		s.vals[r] = next[i]
-	}
+	s.plan.Latch(s.vals, s.latchBuf)
 }
 
 // Step runs one full clock cycle: combinational evaluation followed by

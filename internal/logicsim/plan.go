@@ -1,0 +1,299 @@
+// Compiled evaluation plan: the struct-of-arrays representation of a
+// netlist's per-cycle work. Compilation happens once per netlist; the
+// plan is immutable afterwards and shared by every Simulator fork and
+// every wide-lane simulator over the same design, so the per-cycle hot
+// path walks flat index arrays instead of chasing *netlist.Node
+// pointers and per-cell fanin slices.
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Internal plan opcodes. Two-input gates get specialized codes so the
+// evaluator's common case (the vast majority of gates in synthesized
+// logic) is a single masked load pair and one logic op, with no inner
+// fanin loop.
+const (
+	opConst0 = iota
+	opConst1
+	opBuf
+	opInv
+	opAnd2
+	opAndN
+	opNand2
+	opNandN
+	opOr2
+	opOrN
+	opNor2
+	opNorN
+	opXor2
+	opXorN
+	opXnor2
+	opXnorN
+	opMux2
+)
+
+// Packed-op field layout (one uint64 per combinational node, in
+// topological order):
+//
+//	bits  0..23  output node index (24 bits)
+//	bits 24..29  opcode (6 bits)
+//	bits 30..39  fanin count (10 bits)
+//	bits 40..63  fanin-pool offset (24 bits)
+const (
+	opOutBits  = 24
+	opCodeBits = 6
+	opNinBits  = 10
+	opOffBits  = 24
+
+	opOutMask  = 1<<opOutBits - 1
+	opCodeMask = 1<<opCodeBits - 1
+	opNinMask  = 1<<opNinBits - 1
+
+	opCodeShift = opOutBits
+	opNinShift  = opOutBits + opCodeBits
+	opOffShift  = opOutBits + opCodeBits + opNinBits
+)
+
+// Plan is a netlist compiled to flat index-based arrays: the
+// combinational op stream in topological order, a contiguous fanin
+// index pool, and the register latch schedule. A Plan is immutable
+// after Compile and safe to share across any number of simulators
+// (scalar forks and wide-lane sims alike) — only value state is
+// per-simulator.
+type Plan struct {
+	numNodes int
+	// ops is the linearized combinational schedule; see the packed-op
+	// field layout above.
+	ops []uint64
+	// pool holds every op's fanin node indices back to back; an op's
+	// fanins are pool[off : off+nin].
+	pool []int32
+	// regs are the DFF node indices in netlist.Regs order; regSrc[i]
+	// is regs[i]'s data fanin. Latching is two flat passes over these.
+	regs   []int32
+	regSrc []int32
+	// initHi lists the registers whose power-on value is 1.
+	initHi []int32
+	// maxFanin is the widest cell in the design (the reference
+	// pointer-walking evaluator sizes its spill buffer from it).
+	maxFanin int
+}
+
+// Compile builds the evaluation plan for a netlist. The netlist must be
+// valid and must not be mutated afterwards (the plan, like the cached
+// topological order, is a snapshot of the structure). Compile fails if
+// the design exceeds the packed-op field widths: 2^24 nodes, 2^24 total
+// fanin references, or 2^10 fanins on one cell.
+func Compile(nl *netlist.Netlist) (*Plan, error) {
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	nn := nl.NumNodes()
+	if nn > opOutMask {
+		return nil, fmt.Errorf("logicsim: %d nodes exceeds the %d-node plan limit", nn, opOutMask)
+	}
+	p := &Plan{
+		numNodes: nn,
+		ops:      make([]uint64, 0, len(order)),
+	}
+	for _, id := range order {
+		node := nl.Node(id)
+		nin := len(node.Fanin)
+		if nin > opNinMask {
+			return nil, fmt.Errorf("logicsim: node %d has %d fanins, plan limit is %d", id, nin, opNinMask)
+		}
+		if nin > p.maxFanin {
+			p.maxFanin = nin
+		}
+		off := len(p.pool)
+		if off+nin > 1<<opOffBits {
+			return nil, fmt.Errorf("logicsim: fanin pool exceeds the %d-entry plan limit", 1<<opOffBits)
+		}
+		code, err := planOpcode(node.Type, nin)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range node.Fanin {
+			p.pool = append(p.pool, int32(f))
+		}
+		p.ops = append(p.ops, uint64(id)|
+			uint64(code)<<opCodeShift|
+			uint64(nin)<<opNinShift|
+			uint64(off)<<opOffShift)
+	}
+	regs := nl.Regs()
+	p.regs = make([]int32, len(regs))
+	p.regSrc = make([]int32, len(regs))
+	for i, r := range regs {
+		node := nl.Node(r)
+		p.regs[i] = int32(r)
+		p.regSrc[i] = int32(node.Fanin[0])
+		if node.Init {
+			p.initHi = append(p.initHi, int32(r))
+		}
+	}
+	return p, nil
+}
+
+// planOpcode maps a cell type (and fanin count) to its plan opcode.
+func planOpcode(t netlist.CellType, nin int) (uint64, error) {
+	two := nin == 2
+	switch t {
+	case netlist.Const0:
+		return opConst0, nil
+	case netlist.Const1:
+		return opConst1, nil
+	case netlist.Buf:
+		return opBuf, nil
+	case netlist.Inv:
+		return opInv, nil
+	case netlist.And:
+		if two {
+			return opAnd2, nil
+		}
+		return opAndN, nil
+	case netlist.Nand:
+		if two {
+			return opNand2, nil
+		}
+		return opNandN, nil
+	case netlist.Or:
+		if two {
+			return opOr2, nil
+		}
+		return opOrN, nil
+	case netlist.Nor:
+		if two {
+			return opNor2, nil
+		}
+		return opNorN, nil
+	case netlist.Xor:
+		if two {
+			return opXor2, nil
+		}
+		return opXorN, nil
+	case netlist.Xnor:
+		if two {
+			return opXnor2, nil
+		}
+		return opXnorN, nil
+	case netlist.Mux2:
+		return opMux2, nil
+	default:
+		return 0, fmt.Errorf("logicsim: cell type %v has no plan opcode", t)
+	}
+}
+
+// NumNodes returns the node count of the compiled netlist (the length
+// of a compatible value array).
+func (p *Plan) NumNodes() int { return p.numNodes }
+
+// NumRegs returns the number of registers in the latch schedule.
+func (p *Plan) NumRegs() int { return len(p.regs) }
+
+// Eval runs the combinational op stream over a flat 64-lane value
+// array indexed by NodeID. It is the SoA replacement for the
+// pointer-walking sweep: per op it decodes four packed fields and
+// reads/writes vals directly through the fanin pool.
+func (p *Plan) Eval(vals []uint64) {
+	pool := p.pool
+	//hot
+	for _, op := range p.ops {
+		out := op & opOutMask
+		off := op >> opOffShift
+		switch op >> opCodeShift & opCodeMask {
+		case opAnd2:
+			vals[out] = vals[pool[off]] & vals[pool[off+1]]
+		case opNand2:
+			vals[out] = ^(vals[pool[off]] & vals[pool[off+1]])
+		case opOr2:
+			vals[out] = vals[pool[off]] | vals[pool[off+1]]
+		case opNor2:
+			vals[out] = ^(vals[pool[off]] | vals[pool[off+1]])
+		case opXor2:
+			vals[out] = vals[pool[off]] ^ vals[pool[off+1]]
+		case opXnor2:
+			vals[out] = ^(vals[pool[off]] ^ vals[pool[off+1]])
+		case opInv:
+			vals[out] = ^vals[pool[off]]
+		case opBuf:
+			vals[out] = vals[pool[off]]
+		case opMux2:
+			a, b, sel := vals[pool[off]], vals[pool[off+1]], vals[pool[off+2]]
+			vals[out] = (a &^ sel) | (b & sel)
+		case opConst0:
+			vals[out] = 0
+		case opConst1:
+			vals[out] = AllLanes
+		case opAndN:
+			fan := pool[off : off+(op>>opNinShift&opNinMask)]
+			v := vals[fan[0]]
+			for _, f := range fan[1:] {
+				v &= vals[f]
+			}
+			vals[out] = v
+		case opNandN:
+			fan := pool[off : off+(op>>opNinShift&opNinMask)]
+			v := vals[fan[0]]
+			for _, f := range fan[1:] {
+				v &= vals[f]
+			}
+			vals[out] = ^v
+		case opOrN:
+			fan := pool[off : off+(op>>opNinShift&opNinMask)]
+			v := vals[fan[0]]
+			for _, f := range fan[1:] {
+				v |= vals[f]
+			}
+			vals[out] = v
+		case opNorN:
+			fan := pool[off : off+(op>>opNinShift&opNinMask)]
+			v := vals[fan[0]]
+			for _, f := range fan[1:] {
+				v |= vals[f]
+			}
+			vals[out] = ^v
+		case opXorN:
+			fan := pool[off : off+(op>>opNinShift&opNinMask)]
+			v := vals[fan[0]]
+			for _, f := range fan[1:] {
+				v ^= vals[f]
+			}
+			vals[out] = v
+		case opXnorN:
+			fan := pool[off : off+(op>>opNinShift&opNinMask)]
+			v := vals[fan[0]]
+			for _, f := range fan[1:] {
+				v ^= vals[f]
+			}
+			vals[out] = ^v
+		}
+	}
+}
+
+// Latch advances every register over a flat value array: two passes
+// over the index arrays, with scratch (NumRegs words) holding the
+// next-state values so same-cycle register reads stay consistent.
+func (p *Plan) Latch(vals, scratch []uint64) {
+	//hot
+	for i, src := range p.regSrc {
+		scratch[i] = vals[src]
+	}
+	for i, r := range p.regs {
+		vals[r] = scratch[i]
+	}
+}
+
+// Reset clears a value array to power-on state: all nets 0, registers
+// with a declared init value raised in every lane.
+func (p *Plan) Reset(vals []uint64) {
+	clear(vals)
+	for _, r := range p.initHi {
+		vals[r] = AllLanes
+	}
+}

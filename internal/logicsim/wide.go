@@ -1,0 +1,301 @@
+// Wide-lane simulation: the same compiled plan evaluated over K
+// 64-lane words per net (K ∈ {1, 4, 8}), so one combinational pass
+// classifies 256–512 independent lanes. The lane-batched campaign
+// resume uses it to step that many speculative samples per cycle.
+//
+// The value state is a single flat []uint64 in node-major order (node
+// i's K words at [i·K, (i+1)·K)) rather than a generic [K]uint64
+// array type: Go generics cannot index or range over a type parameter
+// constrained by arrays of different lengths (no core type), and
+// funneling every element access through a per-width view helper puts
+// a dynamic type switch in the innermost loop. The flat
+// stride-addressed form keeps the evaluator monomorphic with plain
+// slice arithmetic; the amortization win comes from decoding the
+// packed op stream once per K words instead of once per 64-lane pass.
+package logicsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// LaneSim is the interface over a wide simulator. Lanes are addressed
+// as (group, bit): group g covers virtual lanes [64g, 64g+64),
+// matching one uint64 word of the scalar Simulator, so per-group
+// results drop into the existing 64-lane bit tricks unchanged. A
+// LaneSim is not safe for concurrent use.
+//
+// Value-state mutators skip the input/register type validation the
+// scalar Simulator performs — a LaneSim is a hot-path engine driven by
+// code that already knows the node roles (bus replay, batched resume,
+// trace fill).
+type LaneSim interface {
+	// Groups returns K, the number of 64-lane groups.
+	Groups() int
+	// Eval, Latch, Step, and Reset mirror Simulator's cycle primitives
+	// over all 64·K lanes.
+	Eval()
+	Latch()
+	Step()
+	Reset()
+	// DriveWord drives the listed nodes (LSB first) with the bits of v
+	// broadcast into every lane of every group.
+	DriveWord(bits []netlist.NodeID, v uint64)
+	// SetRegStateBroadcast loads a scalar register state (RegState
+	// order, one word per register) broadcast into every group — each
+	// group's 64 lanes see exactly the word state[i].
+	SetRegStateBroadcast(state []uint64)
+	// XorReg flips the masked lanes of one register within one group.
+	XorReg(id netlist.NodeID, group int, mask uint64)
+	// SetValGroup overwrites one group's word on a node; ValGroup
+	// reads it back.
+	SetValGroup(id netlist.NodeID, group int, word uint64)
+	ValGroup(id netlist.NodeID, group int) uint64
+	// RegDiffMasks is Simulator.RegDiffMask per group: out[g] gets the
+	// OR-folded XOR of every register's group-g word against the
+	// (uniform) reference word ref[i]. out must have at least Groups()
+	// entries.
+	RegDiffMasks(ref []uint64, out []uint64)
+}
+
+// NewLaneSim builds a wide simulator over the simulator's compiled
+// plan with the given group count (1, 4, or 8 → 64, 256, or 512
+// virtual lanes). The plan is shared read-only; the value state is
+// fresh (power-on reset). The source simulator's current state is not
+// copied — callers load state explicitly (SetRegStateBroadcast,
+// DriveWord).
+func NewLaneSim(s *Simulator, groups int) (LaneSim, error) {
+	switch groups {
+	case 1, 4, 8:
+	default:
+		return nil, fmt.Errorf("logicsim: unsupported lane group count %d (want 1, 4, or 8)", groups)
+	}
+	w := &wideSim{
+		plan:     s.plan,
+		groups:   groups,
+		vals:     make([]uint64, s.plan.numNodes*groups),
+		latchBuf: make([]uint64, len(s.plan.regs)*groups),
+	}
+	w.Reset()
+	return w, nil
+}
+
+// wideSim is the wide simulator: the shared immutable plan over a
+// flat node-major value array with stride groups.
+type wideSim struct {
+	plan     *Plan
+	groups   int
+	vals     []uint64
+	latchBuf []uint64
+}
+
+func (s *wideSim) Groups() int { return s.groups }
+
+func (s *wideSim) Reset() {
+	clear(s.vals)
+	K := s.groups
+	for _, r := range s.plan.initHi {
+		o := s.vals[int(r)*K : int(r)*K+K]
+		for k := range o {
+			o[k] = AllLanes
+		}
+	}
+}
+
+func (s *wideSim) Latch() {
+	K := s.groups
+	vals, buf := s.vals, s.latchBuf
+	//hot
+	for i, src := range s.plan.regSrc {
+		copy(buf[i*K:i*K+K], vals[int(src)*K:int(src)*K+K])
+	}
+	for i, r := range s.plan.regs {
+		copy(vals[int(r)*K:int(r)*K+K], buf[i*K:i*K+K])
+	}
+}
+
+func (s *wideSim) Step() {
+	s.Eval()
+	s.Latch()
+}
+
+func (s *wideSim) DriveWord(bits []netlist.NodeID, v uint64) {
+	K := s.groups
+	for i, id := range bits {
+		word := uint64(0)
+		if v>>uint(i)&1 == 1 {
+			word = AllLanes
+		}
+		o := s.vals[int(id)*K : int(id)*K+K]
+		for k := range o {
+			o[k] = word
+		}
+	}
+}
+
+func (s *wideSim) SetRegStateBroadcast(state []uint64) {
+	regs := s.plan.regs
+	if len(state) != len(regs) {
+		panic(fmt.Sprintf("logicsim: SetRegStateBroadcast with %d values for %d regs", len(state), len(regs)))
+	}
+	K := s.groups
+	for i, r := range regs {
+		o := s.vals[int(r)*K : int(r)*K+K]
+		for k := range o {
+			o[k] = state[i]
+		}
+	}
+}
+
+func (s *wideSim) XorReg(id netlist.NodeID, group int, mask uint64) {
+	s.vals[int(id)*s.groups+group] ^= mask
+}
+
+func (s *wideSim) SetValGroup(id netlist.NodeID, group int, word uint64) {
+	s.vals[int(id)*s.groups+group] = word
+}
+
+func (s *wideSim) ValGroup(id netlist.NodeID, group int) uint64 {
+	return s.vals[int(id)*s.groups+group]
+}
+
+func (s *wideSim) RegDiffMasks(ref []uint64, out []uint64) {
+	regs := s.plan.regs
+	if len(ref) != len(regs) {
+		panic(fmt.Sprintf("logicsim: RegDiffMasks with %d words for %d regs", len(ref), len(regs)))
+	}
+	K := s.groups
+	var m [8]uint64
+	ms := m[:K]
+	//hot
+	for i, r := range regs {
+		v := s.vals[int(r)*K : int(r)*K+K]
+		g := ref[i]
+		for k := range ms {
+			ms[k] |= v[k] ^ g
+		}
+	}
+	copy(out, ms)
+}
+
+// Eval runs the plan's op stream over the wide value array. The
+// structure mirrors Plan.Eval exactly — same opcode dispatch, same
+// order — with each op's word loop widened to the K-word stride, so
+// the packed-op decode is amortized over K words.
+func (s *wideSim) Eval() {
+	p := s.plan
+	K := s.groups
+	vals := s.vals
+	pool := p.pool
+	//hot
+	for _, op := range p.ops {
+		ob := int(op&opOutMask) * K
+		o := vals[ob : ob+K]
+		off := op >> opOffShift
+		switch op >> opCodeShift & opCodeMask {
+		case opAnd2:
+			ab, bb := int(pool[off])*K, int(pool[off+1])*K
+			a, b := vals[ab:ab+K], vals[bb:bb+K]
+			for k := range o {
+				o[k] = a[k] & b[k]
+			}
+		case opNand2:
+			ab, bb := int(pool[off])*K, int(pool[off+1])*K
+			a, b := vals[ab:ab+K], vals[bb:bb+K]
+			for k := range o {
+				o[k] = ^(a[k] & b[k])
+			}
+		case opOr2:
+			ab, bb := int(pool[off])*K, int(pool[off+1])*K
+			a, b := vals[ab:ab+K], vals[bb:bb+K]
+			for k := range o {
+				o[k] = a[k] | b[k]
+			}
+		case opNor2:
+			ab, bb := int(pool[off])*K, int(pool[off+1])*K
+			a, b := vals[ab:ab+K], vals[bb:bb+K]
+			for k := range o {
+				o[k] = ^(a[k] | b[k])
+			}
+		case opXor2:
+			ab, bb := int(pool[off])*K, int(pool[off+1])*K
+			a, b := vals[ab:ab+K], vals[bb:bb+K]
+			for k := range o {
+				o[k] = a[k] ^ b[k]
+			}
+		case opXnor2:
+			ab, bb := int(pool[off])*K, int(pool[off+1])*K
+			a, b := vals[ab:ab+K], vals[bb:bb+K]
+			for k := range o {
+				o[k] = ^(a[k] ^ b[k])
+			}
+		case opInv:
+			ab := int(pool[off]) * K
+			a := vals[ab : ab+K]
+			for k := range o {
+				o[k] = ^a[k]
+			}
+		case opBuf:
+			ab := int(pool[off]) * K
+			copy(o, vals[ab:ab+K])
+		case opMux2:
+			ab, bb, sb := int(pool[off])*K, int(pool[off+1])*K, int(pool[off+2])*K
+			a, b, sel := vals[ab:ab+K], vals[bb:bb+K], vals[sb:sb+K]
+			for k := range o {
+				o[k] = (a[k] &^ sel[k]) | (b[k] & sel[k])
+			}
+		case opConst0:
+			for k := range o {
+				o[k] = 0
+			}
+		case opConst1:
+			for k := range o {
+				o[k] = AllLanes
+			}
+		default:
+			s.evalN(op, o)
+		}
+	}
+}
+
+// evalN handles the variable-fanin opcodes, split out of Eval to keep
+// the common-case switch bodies small.
+func (s *wideSim) evalN(op uint64, o []uint64) {
+	K := s.groups
+	vals, pool := s.vals, s.plan.pool
+	off := op >> opOffShift
+	fan := pool[off : off+(op>>opNinShift&opNinMask)]
+	code := op >> opCodeShift & opCodeMask
+	fb := int(fan[0]) * K
+	copy(o, vals[fb:fb+K])
+	switch code {
+	case opAndN, opNandN:
+		for _, f := range fan[1:] {
+			b := vals[int(f)*K : int(f)*K+K]
+			for k := range o {
+				o[k] &= b[k]
+			}
+		}
+	case opOrN, opNorN:
+		for _, f := range fan[1:] {
+			b := vals[int(f)*K : int(f)*K+K]
+			for k := range o {
+				o[k] |= b[k]
+			}
+		}
+	case opXorN, opXnorN:
+		for _, f := range fan[1:] {
+			b := vals[int(f)*K : int(f)*K+K]
+			for k := range o {
+				o[k] ^= b[k]
+			}
+		}
+	}
+	switch code {
+	case opNandN, opNorN, opXnorN:
+		for k := range o {
+			o[k] = ^o[k]
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package logicsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// buildMixed builds a small sequential circuit whose combinational
+// cloud exercises every compiled opcode class: all six 2-input gate
+// types, Inv/Buf, Mux2, both constants, variable-fanin (3- and
+// 4-input) gates including the inverted N-ary forms, and DFFs with
+// mixed init values fed back through the cloud.
+func buildMixed(t *testing.T) (nl *netlist.Netlist, inputs, regs []netlist.NodeID) {
+	t.Helper()
+	n := netlist.New(64)
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	one := n.AddConst(true)
+	zero := n.AddConst(false)
+	regs = make([]netlist.NodeID, 6)
+	for i := range regs {
+		regs[i] = n.AddDFF(one, "", i%2 == 0)
+	}
+	g0 := n.AddGate(netlist.And, a, regs[0])
+	g1 := n.AddGate(netlist.Nand, b, regs[1])
+	g2 := n.AddGate(netlist.Or, c, regs[2])
+	g3 := n.AddGate(netlist.Nor, g0, regs[3])
+	g4 := n.AddGate(netlist.Xor, g1, regs[4])
+	g5 := n.AddGate(netlist.Xnor, g2, regs[5])
+	g6 := n.AddGate(netlist.Inv, g3)
+	g7 := n.AddGate(netlist.Buf, g4)
+	g8 := n.AddGate(netlist.Mux2, g5, g6, g7)
+	g9 := n.AddGate(netlist.And, g0, g1, g2)
+	g10 := n.AddGate(netlist.Nor, g3, g4, g5, a)
+	g11 := n.AddGate(netlist.Xor, g6, g7, g8)
+	g12 := n.AddGate(netlist.Nand, g9, g10, b)
+	g13 := n.AddGate(netlist.Xnor, g11, g12, c)
+	g14 := n.AddGate(netlist.Or, g13, zero, g8)
+	n.Node(regs[0]).Fanin[0] = g8
+	n.Node(regs[1]).Fanin[0] = g9
+	n.Node(regs[2]).Fanin[0] = g10
+	n.Node(regs[3]).Fanin[0] = g11
+	n.Node(regs[4]).Fanin[0] = g12
+	n.Node(regs[5]).Fanin[0] = g14
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n, []netlist.NodeID{a, b, c}, regs
+}
+
+// TestLaneSimMatchesScalar checks the wide evaluator against one
+// scalar Simulator per 64-lane group: same register state loaded, same
+// input words driven, a different register perturbed in every group
+// each cycle. Every node value, every RegDiffMasks word, and the
+// latched state must agree with the per-group scalar references at
+// every width.
+func TestLaneSimMatchesScalar(t *testing.T) {
+	nl, inputs, regs := buildMixed(t)
+	for _, K := range []int{1, 4, 8} {
+		base, err := New(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := NewLaneSim(base, K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]*Simulator, K)
+		for g := range refs {
+			if refs[g], err = New(nl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Warm the scalar sim a few cycles so the broadcast state is
+		// not just the power-on one.
+		base.Step()
+		base.Step()
+		state := base.RegState()
+		wide.SetRegStateBroadcast(state)
+		for _, r := range refs {
+			r.SetRegState(state)
+		}
+		rng := rand.New(rand.NewSource(int64(100 + K)))
+		for cyc := 0; cyc < 24; cyc++ {
+			in := rng.Uint64()
+			wide.DriveWord(inputs, in)
+			for _, r := range refs {
+				r.DriveWord(inputs, in)
+			}
+			// Diverge the groups: flip a different register with a
+			// different lane mask in each group.
+			for g, r := range refs {
+				id := regs[(cyc+g)%len(regs)]
+				mask := rng.Uint64()
+				wide.XorReg(id, g, mask)
+				r.SetReg(id, r.Val(id)^mask)
+			}
+			wide.Eval()
+			for _, r := range refs {
+				r.Eval()
+			}
+			for i := 0; i < nl.NumNodes(); i++ {
+				id := netlist.NodeID(i)
+				for g, r := range refs {
+					if got, want := wide.ValGroup(id, g), r.Val(id); got != want {
+						t.Fatalf("K=%d cycle %d node %d group %d: wide %#x, scalar %#x",
+							K, cyc, id, g, got, want)
+					}
+				}
+			}
+			masks := make([]uint64, K)
+			wide.RegDiffMasks(state, masks)
+			for g, r := range refs {
+				if got, want := masks[g], r.RegDiffMask(state); got != want {
+					t.Fatalf("K=%d cycle %d group %d: RegDiffMasks %#x, scalar %#x",
+						K, cyc, g, got, want)
+				}
+			}
+			wide.Latch()
+			for _, r := range refs {
+				r.Latch()
+			}
+		}
+	}
+}
+
+// TestLaneSimReset checks Reset restores the power-on register state in
+// every lane of every group.
+func TestLaneSimReset(t *testing.T) {
+	nl, inputs, regs := buildMixed(t)
+	base, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := NewLaneSim(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide.DriveWord(inputs, 7)
+	wide.Step()
+	wide.Step()
+	wide.Reset()
+	for i, id := range regs {
+		want := uint64(0)
+		if i%2 == 0 {
+			want = AllLanes
+		}
+		for g := 0; g < wide.Groups(); g++ {
+			if got := wide.ValGroup(id, g); got != want {
+				t.Fatalf("reg %d group %d after Reset: %#x, want %#x", id, g, got, want)
+			}
+		}
+	}
+	for _, id := range inputs {
+		for g := 0; g < wide.Groups(); g++ {
+			if wide.ValGroup(id, g) != 0 {
+				t.Fatalf("input %d group %d not cleared by Reset", id, g)
+			}
+		}
+	}
+}
+
+// TestNewLaneSimRejectsBadGroups checks the supported-width gate.
+func TestNewLaneSimRejectsBadGroups(t *testing.T) {
+	nl, _, _ := buildMixed(t)
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{0, -1, 2, 3, 5, 16} {
+		if _, err := NewLaneSim(s, bad); err == nil {
+			t.Fatalf("NewLaneSim(%d) accepted an unsupported group count", bad)
+		}
+	}
+}
+
+// TestForkSharesPlan checks the aliasing contract of Fork: the compiled
+// plan (immutable) is shared by pointer, while the value state is an
+// independent deep copy — stepping the fork must not disturb the
+// parent.
+func TestForkSharesPlan(t *testing.T) {
+	nl, inputs, _ := buildMixed(t)
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DriveWord(inputs, 5)
+	s.Eval()
+	f := s.Fork()
+	if s.Plan() != f.Plan() {
+		t.Fatal("Fork must share the parent's compiled plan")
+	}
+	before := make([]uint64, nl.NumNodes())
+	for i := range before {
+		before[i] = s.Val(netlist.NodeID(i))
+	}
+	f.DriveWord(inputs, 2)
+	f.Step()
+	f.Step()
+	for i := range before {
+		if got := s.Val(netlist.NodeID(i)); got != before[i] {
+			t.Fatalf("stepping the fork changed parent node %d: %#x -> %#x", i, before[i], got)
+		}
+	}
+	// And a wide sim built over the fork shares the same plan too.
+	w, err := NewLaneSim(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.(*wideSim).plan != s.Plan() {
+		t.Fatal("LaneSim over a fork must share the original plan")
+	}
+}
+
+// TestFillCombWideMatchesParallel checks that recovering gate values
+// from recorded sources is bit-identical whether done one 64-cycle
+// block per pass (FillCombParallel) or 4/8 blocks per pass over the
+// wide evaluator, including the ragged tail when the cycle count is
+// not a multiple of 64·groups.
+func TestFillCombWideMatchesParallel(t *testing.T) {
+	nl, inputs, _ := buildMixed(t)
+	const cycles = 3*64 + 17
+	full := NewTrace(nl, cycles)
+	src := NewTrace(nl, cycles)
+	{
+		s, err := New(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for c := 0; c < cycles; c++ {
+			s.DriveWord(inputs, rng.Uint64())
+			s.Eval()
+			full.RecordAll(s, c)
+			src.RecordSources(s, c)
+			s.Latch()
+		}
+	}
+	check := func(name string, tr *Trace) {
+		t.Helper()
+		for i := 0; i < nl.NumNodes(); i++ {
+			id := netlist.NodeID(i)
+			for c := 0; c < cycles; c++ {
+				if tr.Value(id, c) != full.Value(id, c) {
+					t.Fatalf("%s: node %d cycle %d disagrees with RecordAll", name, id, c)
+				}
+			}
+		}
+	}
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, groups := range []int{1, 4, 8} {
+		tr := NewTrace(nl, cycles)
+		for i := range tr.bits {
+			copy(tr.bits[i], src.bits[i])
+		}
+		tr.FillCombWide(s, groups)
+		check("FillCombWide", tr)
+	}
+	tr := NewTrace(nl, cycles)
+	for i := range tr.bits {
+		copy(tr.bits[i], src.bits[i])
+	}
+	tr.FillCombParallel(s)
+	check("FillCombParallel", tr)
+}

@@ -1,0 +1,121 @@
+package montecarlo_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/montecarlo"
+)
+
+// compareCampaigns asserts two campaigns are bit-identical across every
+// aggregate the scalar/batched equivalence tests check.
+func compareCampaigns(t *testing.T, label string, got, want *montecarlo.Campaign) {
+	t.Helper()
+	if got.Est.Estimate() != want.Est.Estimate() {
+		t.Errorf("%s: SSF %g != %g", label, got.Est.Estimate(), want.Est.Estimate())
+	}
+	if got.Successes != want.Successes {
+		t.Errorf("%s: successes %d != %d", label, got.Successes, want.Successes)
+	}
+	if got.ClassCounts != want.ClassCounts {
+		t.Errorf("%s: class counts %v != %v", label, got.ClassCounts, want.ClassCounts)
+	}
+	if got.PathCounts != want.PathCounts {
+		t.Errorf("%s: path counts %v != %v", label, got.PathCounts, want.PathCounts)
+	}
+	if got.RTLCycles != want.RTLCycles {
+		t.Errorf("%s: RTL cycles %d != %d", label, got.RTLCycles, want.RTLCycles)
+	}
+	if len(got.Convergence) != len(want.Convergence) {
+		t.Fatalf("%s: convergence length %d != %d", label, len(got.Convergence), len(want.Convergence))
+	}
+	for i := range want.Convergence {
+		if got.Convergence[i] != want.Convergence[i] {
+			t.Fatalf("%s: convergence[%d] %g != %g", label, i, got.Convergence[i], want.Convergence[i])
+		}
+	}
+	for r, v := range want.RegContribution {
+		if got.RegContribution[r] != v {
+			t.Errorf("%s: reg %d contribution %g != %g", label, r, got.RegContribution[r], v)
+		}
+	}
+	if len(got.RegContribution) != len(want.RegContribution) {
+		t.Errorf("%s: reg contributions %d != %d", label, len(got.RegContribution), len(want.RegContribution))
+	}
+	if len(got.Patterns) != len(want.Patterns) {
+		t.Errorf("%s: patterns %d != %d", label, len(got.Patterns), len(want.Patterns))
+	}
+}
+
+// TestCampaignLaneWidthEquivalence is the wide-word acceptance
+// criterion: a fixed-seed batched campaign must be bit-identical to the
+// scalar campaign at every supported resume width — the lane count is
+// purely a throughput knob.
+func TestCampaignLaneWidthEquivalence(t *testing.T) {
+	ev := evaluation(t)
+	sampler, err := ev.ImportanceSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := montecarlo.CampaignOptions{
+		Samples: 3000, Seed: 21,
+		TrackConvergence: true, TrackPatterns: true,
+	}
+	scalar, err := ev.Engine.RunCampaign(context.Background(), sampler, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.PathCounts[montecarlo.PathRTL] == 0 {
+		t.Fatal("campaign exercised no RTL resumes — width equivalence is vacuous")
+	}
+	for _, lanes := range []int{64, 256, 512} {
+		opts := opts
+		opts.Batch = true
+		opts.Lanes = lanes
+		opts.BatchWindow = 700 // not a divisor of Samples: exercises the partial final window
+		wide, err := ev.Engine.RunCampaign(context.Background(), sampler, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareCampaigns(t, fmt.Sprintf("lanes=%d", lanes), wide, scalar)
+	}
+}
+
+// TestForcedDivergenceWideLanes repeats the equivalence check at 256
+// and 512 lanes under the concentrated attack, where behaviorally
+// diverged lanes dominate — forcing the per-64-lane-group ejection and
+// scalar fallback at K=4 and K=8.
+func TestForcedDivergenceWideLanes(t *testing.T) {
+	ev := concentratedEvaluation(t)
+	opts := montecarlo.CampaignOptions{Samples: 2000, Seed: 4, TrackConvergence: true}
+	scalar, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Successes == 0 {
+		t.Fatal("concentrated campaign produced no successes — divergence not forced")
+	}
+	for _, lanes := range []int{256, 512} {
+		opts := opts
+		opts.Batch = true
+		opts.Lanes = lanes
+		wide, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareCampaigns(t, fmt.Sprintf("concentrated/lanes=%d", lanes), wide, scalar)
+	}
+}
+
+// TestCampaignRejectsBadLanes checks that unsupported widths are
+// rejected up front rather than mid-campaign.
+func TestCampaignRejectsBadLanes(t *testing.T) {
+	ev := evaluation(t)
+	for _, lanes := range []int{1, 65, 100, 128, 1024} {
+		opts := montecarlo.CampaignOptions{Samples: 10, Seed: 1, Batch: true, Lanes: lanes}
+		if _, err := ev.Engine.RunCampaign(context.Background(), ev.RandomSampler(), opts); err == nil {
+			t.Fatalf("Lanes=%d accepted", lanes)
+		}
+	}
+}

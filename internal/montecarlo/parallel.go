@@ -287,12 +287,13 @@ type AdaptiveOptions struct {
 	// snapshots report Total as 0 (open-ended).
 	Progress      ProgressFunc
 	ProgressEvery int
-	// Batch and BatchWindow as in CampaignOptions: every chunk (and
-	// every shard of a parallel round) runs the lane-batched execution
-	// path, leaving results bit-identical to the scalar run with the
-	// same options.
+	// Batch, BatchWindow, and Lanes as in CampaignOptions: every chunk
+	// (and every shard of a parallel round) runs the lane-batched
+	// execution path at the requested width, leaving results
+	// bit-identical to the scalar run with the same options.
 	Batch       bool
 	BatchWindow int
+	Lanes       int
 	// Resume continues a previously checkpointed RunAdaptiveParallel
 	// campaign: the accumulated total restored from a Checkpoint
 	// snapshot of the same options. ResumeRound is the number of rounds
@@ -397,6 +398,7 @@ func (e *Engine) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts
 			TrackPatterns:    opts.TrackPatterns,
 			Batch:            opts.Batch,
 			BatchWindow:      opts.BatchWindow,
+			Lanes:            opts.Lanes,
 		}, agg, 0)
 		chunkIdx++
 		if total == nil {
@@ -447,6 +449,7 @@ func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler samplin
 		TrackPatterns: opts.TrackPatterns,
 		Batch:         opts.Batch,
 		BatchWindow:   opts.BatchWindow,
+		Lanes:         opts.Lanes,
 	}
 	var total *Campaign
 	var conv []float64

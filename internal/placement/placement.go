@@ -178,7 +178,7 @@ func (p *Placement) CombWithinRadius(center netlist.NodeID, r float64) []netlist
 // its own.
 type SpotIndex struct {
 	p       *Placement
-	centers map[netlist.NodeID]*spotEntry
+	centers []*spotEntry // indexed by center NodeID, nil until first queried
 	idBuf   []netlist.NodeID
 	distBuf []float64
 }
@@ -198,7 +198,7 @@ const spotCapGrowth = 1.5
 
 // NewSpotIndex returns an empty per-worker radius-query cache over p.
 func (p *Placement) NewSpotIndex() *SpotIndex {
-	return &SpotIndex{p: p, centers: make(map[netlist.NodeID]*spotEntry)}
+	return &SpotIndex{p: p, centers: make([]*spotEntry, p.nl.NumNodes())}
 }
 
 func (si *SpotIndex) entry(center netlist.NodeID, r float64) *spotEntry {

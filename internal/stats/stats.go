@@ -311,7 +311,20 @@ func (d *Discrete) Sample(u float64) int {
 	// It necessarily has nonzero mass: a zero-probability bin shares
 	// its cumulative value with its predecessor, so it can never be
 	// the *first* index to exceed u.
-	i := sort.Search(len(d.cum), func(j int) bool { return d.cum[j] > u })
+	// Open-coded binary search: Sample runs once per draw, and the
+	// sort.Search closure indirection is measurable there. Identical
+	// result (first index with cum > u).
+	cum := d.cum
+	lo, hi := 0, len(cum)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
 	if i >= len(d.cum) {
 		// Defensive: only reachable for u >= 1, outside the contract.
 		i = len(d.cum) - 1

@@ -12,18 +12,17 @@
 // order.
 //
 // The sweep is sparse: a strike only ever disturbs the combinational
-// fanout cone of the struck gates, so Inject walks a precomputed
-// topo-sorted cone schedule instead of the whole netlist, resets only
-// the nodes the previous run touched, and stops as soon as every
-// surviving waveform has been swept past. The cone schedules are cached
-// per gate and shared (read-only, under a lock) across Fork copies.
+// fanout cone of the struck gates, so Inject drives a worklist bitset
+// indexed by topological position instead of walking the whole
+// netlist, resets only the nodes the previous run touched, and stops
+// as soon as every surviving waveform has been swept past.
 package timingsim
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 	"sort"
-	"sync"
 
 	"repro/internal/netlist"
 )
@@ -120,54 +119,6 @@ type Result struct {
 	ReachedRegs int
 }
 
-// coneCache memoizes the topo-sorted combinational fanout-cone schedule
-// of each gate. It is shared across Fork copies: schedules are built
-// once per gate per design, whichever simulator strikes it first.
-type coneCache struct {
-	mu    sync.RWMutex
-	sched map[netlist.NodeID][]netlist.NodeID
-	// merged memoizes the union cone schedule of a multi-gate strike,
-	// keyed by the byte-packed struck-gate id list. Strike spots are
-	// drawn around a finite candidate-center set and the radius jitter
-	// only crosses a few inter-gate distance thresholds, so the same
-	// gate sets recur constantly within a campaign.
-	merged map[string][]netlist.NodeID
-}
-
-func (c *coneCache) get(g netlist.NodeID) []netlist.NodeID {
-	c.mu.RLock()
-	s := c.sched[g]
-	c.mu.RUnlock()
-	return s
-}
-
-func (c *coneCache) getMerged(key []byte) []netlist.NodeID {
-	c.mu.RLock()
-	s := c.merged[string(key)] // no-alloc map lookup
-	c.mu.RUnlock()
-	return s
-}
-
-func (c *coneCache) putMerged(key []byte, sched []netlist.NodeID) []netlist.NodeID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prev, ok := c.merged[string(key)]; ok {
-		return prev
-	}
-	c.merged[string(key)] = sched
-	return sched
-}
-
-func (c *coneCache) put(g netlist.NodeID, sched []netlist.NodeID) []netlist.NodeID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prev, ok := c.sched[g]; ok {
-		return prev // another fork won the race; use its schedule
-	}
-	c.sched[g] = sched
-	return sched
-}
-
 // Simulator performs timed injection-cycle evaluation over a fixed
 // netlist. It is not safe for concurrent use; Fork one per goroutine
 // (forks share the immutable topology tables and the cone-schedule
@@ -184,19 +135,49 @@ type Simulator struct {
 	regFanout    [][]netlist.NodeID // node -> DFFs whose D input it drives
 	maxFanoutPos []int32            // node -> furthest comb fanout position
 	maxFanin     int
-	cones        *coneCache
+	// Struct-of-arrays mirror of the netlist cells, so the injection
+	// sweep reads cell type and fanins from flat arrays instead of
+	// walking netlist.Node pointers: node i's fanins live at
+	// faninPool[faninOff[i]:faninOff[i+1]].
+	cellTypes []netlist.CellType
+	faninOff  []int32
+	faninPool []netlist.NodeID
 
 	// Per-run waveform state, reset via the touched list.
 	waves   [][]Interval // indexed by node: current fault waveform
 	dirty   []bool       // node was struck (own deposit to XOR in)
 	touched []netlist.NodeID
 	marked  []bool // node is on the touched list
+	// waveBits mirrors len(waves[id]) > 0 one bit per node, so the
+	// fanin scan of the sweep reads a dense L1-resident bitset instead
+	// of scattered slice headers.
+	waveBits []uint64
+	// needPos is the sweep worklist: one bit per topological position,
+	// marking nodes whose fanins' waves changed (struck seeds, plus the
+	// fanouts of every node whose wave survived). The sparse sweep
+	// consumes marks in position order and clears each as it visits, so
+	// the set is empty again after every Inject.
+	needPos []uint64
 
 	// Scratch buffers reused across Inject calls.
-	events   []float64
-	argBuf   []uint64 // spill for cells with more than 8 fanins
-	propBuf  []Interval
-	keyBuf   []byte
+	events  []float64
+	argBuf  []uint64 // spill for cells with more than 8 fanins
+	propBuf []Interval
+
+	// Fault-free value source for the Inject in progress: either the
+	// caller's values callback, or (InjectBits) a per-node bitset read
+	// directly — the bitset path avoids an indirect call per fanin in
+	// the propagate hot loop.
+	values  func(netlist.NodeID) bool
+	valBits []uint64
+
+	// laneWidth is how many 64-span words one timed cell evaluation
+	// covers in propagate (1 = scalar, 4 or 8 = wide words); argBuf4
+	// and argBuf8 are the matching per-fanin scratch. Set through
+	// SetLaneWidth; the width never changes results.
+	laneWidth int
+	argBuf4   [][4]uint64
+	argBuf8   [][8]uint64
 
 	// reference switches Inject to the dense full-order sweep; kept
 	// for equivalence testing against the sparse fast path.
@@ -222,13 +203,11 @@ func New(nl *netlist.Netlist, dm DelayModel) (*Simulator, error) {
 		combFanout:   make([][]netlist.NodeID, n),
 		regFanout:    make([][]netlist.NodeID, n),
 		maxFanoutPos: make([]int32, n),
-		cones: &coneCache{
-			sched:  make(map[netlist.NodeID][]netlist.NodeID),
-			merged: make(map[string][]netlist.NodeID),
-		},
 		waves:        make([][]Interval, n),
 		dirty:        make([]bool, n),
 		marked:       make([]bool, n),
+		waveBits:     make([]uint64, (n+63)/64),
+		needPos:      make([]uint64, (n+63)/64),
 	}
 	for i := range s.topoPos {
 		s.topoPos[i] = -1
@@ -237,14 +216,20 @@ func New(nl *netlist.Netlist, dm DelayModel) (*Simulator, error) {
 	for pos, id := range order {
 		s.topoPos[id] = int32(pos)
 	}
+	s.cellTypes = make([]netlist.CellType, n)
+	s.faninOff = make([]int32, n+1)
 	for i := 0; i < n; i++ {
 		id := netlist.NodeID(i)
 		node := nl.Node(id)
 		s.delays[i] = dm.CellDelay[node.Type]
+		s.cellTypes[i] = node.Type
+		s.faninOff[i] = int32(len(s.faninPool))
+		s.faninPool = append(s.faninPool, node.Fanin...)
 		if l := len(node.Fanin); l > s.maxFanin {
 			s.maxFanin = l
 		}
 	}
+	s.faninOff[n] = int32(len(s.faninPool))
 	for i, fos := range nl.Fanouts() {
 		for _, fo := range fos {
 			if nl.Node(fo).Type == netlist.DFF {
@@ -281,16 +266,50 @@ func (s *Simulator) Fork() *Simulator {
 		regFanout:    s.regFanout,
 		maxFanoutPos: s.maxFanoutPos,
 		maxFanin:     s.maxFanin,
-		cones:        s.cones,
+		cellTypes:    s.cellTypes,
+		faninOff:     s.faninOff,
+		faninPool:    s.faninPool,
 		waves:        make([][]Interval, n),
 		dirty:        make([]bool, n),
 		marked:       make([]bool, n),
+		waveBits:     make([]uint64, (n+63)/64),
+		needPos:      make([]uint64, (n+63)/64),
 		reference:    s.reference,
 	}
 	if s.maxFanin > 8 {
 		c.argBuf = make([]uint64, s.maxFanin)
 	}
+	if s.laneWidth != 0 {
+		c.SetLaneWidth(s.laneWidth)
+	}
 	return c
+}
+
+// SetLaneWidth selects how many 64-span words one timed cell
+// evaluation covers during waveform propagation: 1 (or 0) keeps the
+// scalar 64-span chunks, 4 and 8 evaluate 256 and 512 spans per pass
+// through [K]uint64 wide words. Waveforms with at most 64 spans — the
+// overwhelmingly common case — always take the scalar path, so the
+// width only engages on event-dense multi-fanin nodes. Results are
+// bit-identical at every width (each span is an independent cell
+// evaluation). Forks inherit the setting with their own scratch.
+func (s *Simulator) SetLaneWidth(w int) {
+	switch w {
+	case 0, 1:
+		s.laneWidth = 1
+	case 4:
+		s.laneWidth = 4
+		if s.argBuf4 == nil {
+			s.argBuf4 = make([][4]uint64, s.maxFanin)
+		}
+	case 8:
+		s.laneWidth = 8
+		if s.argBuf8 == nil {
+			s.argBuf8 = make([][8]uint64, s.maxFanin)
+		}
+	default:
+		panic(fmt.Sprintf("timingsim: unsupported lane width %d (want 1, 4, or 8)", w))
+	}
 }
 
 // SetReferenceSweep switches Inject between the sparse fault-cone sweep
@@ -322,9 +341,38 @@ func (s *Simulator) touch(id netlist.NodeID) {
 // RTL simulator's post-Eval state). It returns which registers latch
 // wrong values at the cycle's closing clock edge.
 func (s *Simulator) Inject(values func(netlist.NodeID) bool, strike Strike) Result {
+	s.values, s.valBits = values, nil
+	return s.inject(strike)
+}
+
+// InjectBits is Inject with the fault-free values supplied as a dense
+// bitset (bit id of valbits[id/64] is node id's value) instead of a
+// callback. Results are identical; the bitset read replaces an
+// indirect call per fanin in the propagation hot path.
+func (s *Simulator) InjectBits(valbits []uint64, strike Strike) Result {
+	s.values, s.valBits = nil, valbits
+	return s.inject(strike)
+}
+
+// val reads one fault-free node value from whichever source the
+// current Inject supplied.
+func (s *Simulator) val(id netlist.NodeID) bool {
+	if vb := s.valBits; vb != nil {
+		return vb[id>>6]>>(uint(id)&63)&1 == 1
+	}
+	return s.values(id)
+}
+
+func (s *Simulator) inject(strike Strike) Result {
 	// Targeted reset: only nodes the previous run disturbed hold state.
 	for _, id := range s.touched {
 		s.waves[id] = s.waves[id][:0]
+		s.waveBits[id>>6] &^= 1 << (uint(id) & 63)
+		// The sparse sweep leaves needPos empty; this clear only
+		// matters for the dense reference sweep, which ignores marks.
+		if p := s.topoPos[id]; p >= 0 {
+			s.needPos[p>>6] &^= 1 << (uint(p) & 63)
+		}
 		s.dirty[id] = false
 		s.marked[id] = false
 	}
@@ -346,110 +394,77 @@ func (s *Simulator) Inject(values func(netlist.NodeID) bool, strike Strike) Resu
 		} else {
 			s.waves[g] = xorIntervals(s.waves[g], []Interval{iv})
 		}
+		if len(s.waves[g]) > 0 {
+			s.waveBits[g>>6] |= 1 << (uint(g) & 63)
+		} else {
+			s.waveBits[g>>6] &^= 1 << (uint(g) & 63)
+		}
 		s.dirty[g] = true
+		p := s.topoPos[g]
+		s.needPos[p>>6] |= 1 << (uint(p) & 63)
 		s.touch(g)
 	}
 
 	var res Result
 	if s.reference {
 		for _, id := range s.order {
-			s.evalNode(id, values, &res)
+			s.evalNode(id, &res)
 		}
 	} else {
-		s.sweepSparse(values, &res)
+		s.sweepSparse(&res)
 	}
-	s.latchCheck(values, &res)
-	sort.Slice(res.FlippedRegs, func(i, j int) bool { return res.FlippedRegs[i] < res.FlippedRegs[j] })
+	s.latchCheck(&res)
+	slices.Sort(res.FlippedRegs) // reflection-free; this runs once per draw
 	return res
 }
 
 // sweepSparse propagates the strike through the fanout cones of the
-// struck gates only. Single-gate strikes walk the gate's cached cone
-// schedule with a reach bound; multi-gate strikes run an event-driven
-// worklist so the walk ends as soon as every waveform has died.
-func (s *Simulator) sweepSparse(values func(netlist.NodeID) bool, res *Result) {
-	switch len(s.touched) { // only seeded gates are touched so far
-	case 0:
-		return
-	case 1:
-		s.sweepCone(s.touched[0], values, res)
+// struck gates only, by walking the needPos worklist bitset in
+// topological-position order: struck seeds are pre-marked, every node
+// whose wave survives marks its combinational fanouts, and the walk
+// ends once it passes the furthest position any surviving waveform can
+// still reach (maxReach) — beyond it every remaining node has
+// fault-free fanins. Evaluation order (topo position) and the
+// evaluated live set match a full cone-schedule walk, so results are
+// identical; the bitset walk just skips the dead nodes of the cone
+// without touching them.
+func (s *Simulator) sweepSparse(res *Result) {
+	if len(s.touched) == 0 { // only seeded gates are touched so far
 		return
 	}
-	// Multi-gate strike: walk the memoized union cone schedule of the
-	// struck set with the same reach bound sweepCone uses — past
-	// maxReach every remaining schedule node has fault-free fanins.
-	// Evaluation order (topo position) and the evaluated live set match
-	// the event-driven worklist this replaces, so results are
-	// identical; the schedule walk just avoids per-sample heap and
-	// visited-set bookkeeping for the recurring strike sets.
-	sched := s.mergedSchedule()
-	maxReach := int32(-1)
+	minPos, maxReach := int32(1)<<30, int32(-1)
 	for _, g := range s.touched {
-		if p := s.topoPos[g]; p > maxReach {
+		p := s.topoPos[g]
+		if p < minPos {
+			minPos = p
+		}
+		if p > maxReach {
 			maxReach = p
 		}
 	}
+	need := s.needPos
+	order := s.order
 	//hot
-	for _, id := range sched {
-		if s.topoPos[id] > maxReach {
-			break
-		}
-		s.evalNode(id, values, res)
-		if len(s.waves[id]) > 0 {
-			if mf := s.maxFanoutPos[id]; mf > maxReach {
-				maxReach = mf
+	for w := int(minPos >> 6); ; {
+		word := need[w]
+		if word == 0 {
+			// Marks never land past maxReach: marking a node's fanouts
+			// always extends maxReach to at least their positions.
+			w++
+			if int32(w)<<6 > maxReach {
+				return
 			}
+			continue
 		}
-	}
-}
-
-// mergedSchedule returns the topo-sorted union of the struck gates'
-// combinational fanout cones, memoized by the struck-gate id list.
-func (s *Simulator) mergedSchedule() []netlist.NodeID {
-	key := s.keyBuf[:0]
-	for _, g := range s.touched {
-		key = append(key, byte(g), byte(uint32(g)>>8), byte(uint32(g)>>16), byte(uint32(g)>>24))
-	}
-	s.keyBuf = key
-	if sched := s.cones.getMerged(key); sched != nil {
-		return sched
-	}
-	seen := make(map[netlist.NodeID]bool)
-	var cone []netlist.NodeID
-	for _, g := range s.touched {
-		if !seen[g] {
-			seen[g] = true
-			cone = append(cone, g)
-		}
-	}
-	for head := 0; head < len(cone); head++ {
-		for _, fo := range s.combFanout[cone[head]] {
-			if !seen[fo] {
-				seen[fo] = true
-				cone = append(cone, fo)
-			}
-		}
-	}
-	slices.SortFunc(cone, func(a, b netlist.NodeID) int {
-		return int(s.topoPos[a]) - int(s.topoPos[b])
-	})
-	return s.cones.putMerged(append([]byte(nil), key...), cone)
-}
-
-// sweepCone walks a single struck gate's cached cone schedule, stopping
-// once the walk passes the furthest position any surviving waveform can
-// still reach (maxReach): beyond it every remaining schedule node has
-// fault-free fanins.
-func (s *Simulator) sweepCone(g netlist.NodeID, values func(netlist.NodeID) bool, res *Result) {
-	sched := s.coneSchedule(g)
-	maxReach := s.topoPos[g]
-	//hot
-	for _, id := range sched {
-		if s.topoPos[id] > maxReach {
-			break
-		}
-		s.evalNode(id, values, res)
+		b := bits.TrailingZeros64(word)
+		need[w] = word &^ (1 << uint(b))
+		id := order[w<<6|b]
+		s.evalNode(id, res)
 		if len(s.waves[id]) > 0 {
+			for _, fo := range s.combFanout[id] {
+				p := s.topoPos[fo]
+				need[p>>6] |= 1 << (uint(p) & 63)
+			}
 			if mf := s.maxFanoutPos[id]; mf > maxReach {
 				maxReach = mf
 			}
@@ -460,17 +475,20 @@ func (s *Simulator) sweepCone(g netlist.NodeID, values func(netlist.NodeID) bool
 // evalNode (re)evaluates one combinational node of the sweep: if any
 // fanin carries a waveform the output response is propagated and
 // conditioned; a struck node XORs its own deposit with the response.
-func (s *Simulator) evalNode(id netlist.NodeID, values func(netlist.NodeID) bool, res *Result) {
-	node := s.nl.Node(id)
-	anyIn := false
-	for _, f := range node.Fanin {
-		if len(s.waves[f]) > 0 {
-			anyIn = true
-			break
+// The fanin scan reads the flat SoA pool and is shared with propagate
+// (which fanin carries a waveform is decided exactly once per node).
+func (s *Simulator) evalNode(id netlist.NodeID, res *Result) {
+	fi := s.faninPool[s.faninOff[id]:s.faninOff[id+1]]
+	waved, wi := 0, -1
+	wb := s.waveBits
+	for j, f := range fi {
+		if wb[f>>6]>>(uint(f)&63)&1 != 0 {
+			waved++
+			wi = j
 		}
 	}
-	if anyIn {
-		prop := s.propagate(id, values)
+	if waved > 0 {
+		prop := s.propagate(id, s.cellTypes[id], fi, waved, wi)
 		prop = conditionWith(prop, s.delays[id], s.dm.Attenuation, s.dm.MinPulse)
 		if s.dirty[id] {
 			// Struck gate: its own deposited pulse is combined
@@ -481,40 +499,19 @@ func (s *Simulator) evalNode(id netlist.NodeID, values func(netlist.NodeID) bool
 		}
 	}
 	if len(s.waves[id]) > 0 {
+		wb[id>>6] |= 1 << (uint(id) & 63)
 		res.ActiveGates++
 		s.touch(id)
+	} else {
+		wb[id>>6] &^= 1 << (uint(id) & 63)
 	}
-}
-
-// coneSchedule returns the topo-sorted combinational fanout cone of a
-// gate (the gate itself included), computing and caching it on first
-// use.
-func (s *Simulator) coneSchedule(g netlist.NodeID) []netlist.NodeID {
-	if sched := s.cones.get(g); sched != nil {
-		return sched
-	}
-	seen := make(map[netlist.NodeID]bool)
-	cone := []netlist.NodeID{g}
-	seen[g] = true
-	for head := 0; head < len(cone); head++ {
-		for _, fo := range s.combFanout[cone[head]] {
-			if !seen[fo] {
-				seen[fo] = true
-				cone = append(cone, fo)
-			}
-		}
-	}
-	slices.SortFunc(cone, func(a, b netlist.NodeID) int {
-		return int(s.topoPos[a]) - int(s.topoPos[b])
-	})
-	return s.cones.put(g, cone)
 }
 
 // latchCheck performs the latching decision per register whose D input
 // carries a transient. Clock-gated registers whose enable is low this
 // cycle require a much wider transient (direct storage-node upset
 // instead of a clocked capture).
-func (s *Simulator) latchCheck(values func(netlist.NodeID) bool, res *Result) {
+func (s *Simulator) latchCheck(res *Result) {
 	gf := s.dm.GatedWindowFactor
 	if gf < 1 {
 		gf = 1
@@ -529,7 +526,7 @@ func (s *Simulator) latchCheck(values func(netlist.NodeID) bool, res *Result) {
 			node := s.nl.Node(r)
 			res.ReachedRegs++
 			setup, hold := s.dm.Setup, s.dm.Hold
-			if node.En != netlist.Invalid && !values(node.En) {
+			if node.En != netlist.Invalid && !s.val(node.En) {
 				setup *= gf
 				hold *= gf
 			}
@@ -554,21 +551,10 @@ func (s *Simulator) latchCheck(values func(netlist.NodeID) bool, res *Result) {
 // spans are evaluated per call: lane k carries span k's input state —
 // the fault-free value broadcast, XORed with the span's flip bit. The
 // returned slice is scratch owned by the simulator, valid until the
-// next propagate call.
-func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) bool) []Interval {
-	node := s.nl.Node(id)
-	fi := node.Fanin
-
-	waved, wi := 0, -1
-	for j, f := range fi {
-		if len(s.waves[f]) > 0 {
-			waved++
-			wi = j
-		}
-	}
-	if waved == 0 {
-		return nil
-	}
+// next propagate call. t and fi are the node's cell type and flat
+// fanin list; waved and wi are the caller's fanin-scan results (how
+// many fanins carry a waveform, and the index of the last one).
+func (s *Simulator) propagate(id netlist.NodeID, t netlist.CellType, fi []netlist.NodeID, waved, wi int) []Interval {
 	var in [8]uint64
 	args := in[:]
 	if len(fi) > len(in) {
@@ -585,7 +571,7 @@ func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) boo
 		// state, lane 1 flips the waved fanin.
 		for j, f := range fi {
 			base := uint64(0)
-			if values(f) {
+			if s.val(f) {
 				base = ^uint64(0)
 			}
 			if j == wi {
@@ -593,7 +579,7 @@ func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) boo
 			}
 			args[j] = base
 		}
-		outw := netlist.EvalCell(node.Type, args)
+		outw := netlist.EvalCell(t, args)
 		out := s.propBuf[:0]
 		if (outw^outw>>1)&1 == 1 {
 			for _, iv := range s.waves[fi[wi]] {
@@ -619,11 +605,21 @@ func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) boo
 	// consistent post-Eval state, so the node's own recorded value is
 	// its cell function over the recorded fanin values.
 	nominalOut := uint64(0)
-	if values(id) {
+	if s.val(id) {
 		nominalOut = ^uint64(0)
 	}
 	out := s.propBuf[:0]
 	spans := len(events) - 1
+	if spans > 64 && s.laneWidth > 1 {
+		switch s.laneWidth {
+		case 4:
+			out = propagateWide(s, t, fi, s.argBuf4[:len(fi)], events, nominalOut, out)
+		default:
+			out = propagateWide(s, t, fi, s.argBuf8[:len(fi)], events, nominalOut, out)
+		}
+		s.propBuf = out
+		return out
+	}
 	// Evaluate within each span [events[k], events[k+1]), 64 at a time.
 	//hot
 	for chunk := 0; chunk < spans; chunk += 64 {
@@ -633,7 +629,7 @@ func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) boo
 		}
 		for j, f := range fi {
 			base := uint64(0)
-			if values(f) {
+			if s.val(f) {
 				base = ^uint64(0)
 			}
 			if w := s.waves[f]; len(w) > 0 {
@@ -646,7 +642,7 @@ func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) boo
 			}
 			args[j] = base
 		}
-		flipped := netlist.EvalCell(node.Type, args) ^ nominalOut
+		flipped := netlist.EvalCell(t, args) ^ nominalOut
 		for k := 0; k < n; k++ {
 			if flipped>>uint(k)&1 == 1 {
 				out = appendMerged(out, Interval{events[chunk+k], events[chunk+k+1]})
@@ -654,6 +650,59 @@ func (s *Simulator) propagate(id netlist.NodeID, values func(netlist.NodeID) boo
 		}
 	}
 	s.propBuf = out
+	return out
+}
+
+// propagateWide is propagate's multi-waved span sweep over [K]uint64
+// wide words: each chunk evaluates up to 64·K spans with one
+// netlist.EvalCellWide call. The per-span work (midpoint coverage test,
+// flipped-interval emission) is identical to the scalar loop, so the
+// produced waveform is bit-identical; only the cell-evaluation count
+// drops. args is per-simulator scratch sliced to len(fi).
+func propagateWide[W netlist.Word](s *Simulator, t netlist.CellType, fi []netlist.NodeID, args []W, events []float64, nominalOut uint64, out []Interval) []Interval {
+	spans := len(events) - 1
+	var w0 W
+	lanes := 64 * len(netlist.WordSlice(&w0))
+	//hot
+	for chunk := 0; chunk < spans; chunk += lanes {
+		n := spans - chunk
+		if n > lanes {
+			n = lanes
+		}
+		for j, f := range fi {
+			a := netlist.WordSlice(&args[j])
+			base := uint64(0)
+			if s.val(f) {
+				base = ^uint64(0)
+			}
+			for g := range a {
+				a[g] = base
+			}
+			if wv := s.waves[f]; len(wv) > 0 {
+				for k := 0; k < n; k++ {
+					mid := (events[chunk+k] + events[chunk+k+1]) / 2
+					if covered(wv, mid) {
+						a[k>>6] ^= 1 << uint(k&63)
+					}
+				}
+			}
+		}
+		res := netlist.EvalCellWide(t, args)
+		rs := netlist.WordSlice(&res)
+		for g := 0; g*64 < n; g++ {
+			flipped := rs[g] ^ nominalOut
+			base := chunk + g*64
+			lim := n - g*64
+			if lim > 64 {
+				lim = 64
+			}
+			for k := 0; k < lim; k++ {
+				if flipped>>uint(k)&1 == 1 {
+					out = appendMerged(out, Interval{events[base+k], events[base+k+1]})
+				}
+			}
+		}
+	}
 	return out
 }
 
@@ -722,7 +771,15 @@ func xorIntervals(a, b []Interval) []Interval {
 	for _, iv := range b {
 		edges = append(edges, edge{iv.Start, 2}, edge{iv.End, -2})
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+	slices.SortFunc(edges, func(a, b edge) int {
+		switch {
+		case a.t < b.t:
+			return -1
+		case a.t > b.t:
+			return 1
+		}
+		return 0
+	})
 	var out []Interval
 	inA, inB := 0, 0
 	prev := edges[0].t

@@ -1,0 +1,135 @@
+package timingsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// buildWideOr returns a netlist whose OR gate sees `fan` single-interval
+// fanin waves when all bufs are struck: `fan` distinct interval ends
+// means `fan` spans at the OR — forcing the multi-waved wide propagate
+// path (spans > 64, and > 256 for fan > 256 so the K=4 sweep needs
+// multiple chunks).
+func buildWideOr(t *testing.T, fan int) (*netlist.Netlist, []netlist.NodeID) {
+	t.Helper()
+	nl := netlist.New(fan + 8)
+	a := nl.AddInput("a")
+	bufs := make([]netlist.NodeID, fan)
+	for i := range bufs {
+		bufs[i] = nl.AddGate(netlist.Buf, a)
+	}
+	or := nl.AddGate(netlist.Or, bufs...)
+	nl.AddDFF(or, "cap", false)
+	inv := nl.AddGate(netlist.Inv, or)
+	nl.AddDFF(inv, "capn", true)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl, bufs
+}
+
+// TestPropagateWideManySpans strikes 300 buffers feeding one OR with
+// staggered pulse widths, so the OR's span sweep sees ~300 spans and
+// must take the wide propagate path at lane widths 4 and 8 (multiple
+// chunks at width 4). Results and every node's waveform must be
+// bit-identical to the scalar span sweep, and the strike must actually
+// flip a register so the check is not vacuous.
+func TestPropagateWideManySpans(t *testing.T) {
+	const fan = 300
+	nl, bufs := buildWideOr(t, fan)
+	dm := DefaultDelayModel()
+	st := Strike{Gates: bufs, Time: 500, Widths: make([]float64, fan)}
+	for i := range st.Widths {
+		// Distinct widths: 300 distinct interval ends → ~300 spans at
+		// the OR. The longest pulses cross the latch window
+		// [ClockPeriod-Setup, ClockPeriod+Hold] = [575, 610].
+		st.Widths[i] = 20 + 0.5*float64(i)
+	}
+	values := func(netlist.NodeID) bool { return false }
+
+	scalar, err := New(nl, dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := scalar.Inject(values, st)
+	if len(ref.FlippedRegs) == 0 {
+		t.Fatal("strike flipped no register — wide-path equivalence would be vacuous")
+	}
+	refWaves := make([][]Interval, nl.NumNodes())
+	for i := range refWaves {
+		refWaves[i] = append([]Interval(nil), scalar.Wave(netlist.NodeID(i))...)
+	}
+
+	for _, w := range []int{4, 8} {
+		wide, err := New(nl, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide.SetLaneWidth(w)
+		got := wide.Inject(values, st)
+		if !resultsEqual(got, ref) {
+			t.Fatalf("width %d: result %+v, scalar %+v", w, got, ref)
+		}
+		for i := range refWaves {
+			if !wavesEqual(wide.Wave(netlist.NodeID(i)), refWaves[i]) {
+				t.Fatalf("width %d: node %d waveform diverges from scalar", w, i)
+			}
+		}
+	}
+}
+
+// TestWideLaneMatchesScalarRandom repeats the sparse-vs-reference style
+// randomized sweep across lane widths: the same random designs, values,
+// and strikes must produce identical results at widths 1, 4, and 8.
+// Strikes here hit many gates at once so converging fanout occasionally
+// pushes span counts over the wide threshold.
+func TestWideLaneMatchesScalarRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dm := DefaultDelayModel()
+	for design := 0; design < 2; design++ {
+		nl := buildRandomDesign(rng)
+		scalar, err := New(nl, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w4, err := New(nl, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w4.SetLaneWidth(4)
+		w8, err := New(nl, dm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w8.SetLaneWidth(8)
+		for trial := 0; trial < 150; trial++ {
+			values := randomValues(rng, nl.NumNodes())
+			st := randomStrike(rng, dm, nl.NumNodes())
+			// Widen the strike: many struck gates per trial raise the
+			// odds that a reconverging node's event list tops 64 spans.
+			for n := 30 + rng.Intn(40); n > 0; n-- {
+				st.Gates = append(st.Gates, netlist.NodeID(rng.Intn(nl.NumNodes())))
+			}
+			if st.Widths != nil {
+				for len(st.Widths) < len(st.Gates) {
+					st.Widths = append(st.Widths, rng.Float64()*dm.MinPulse*12)
+				}
+			}
+			ref := scalar.Inject(values, st)
+			if got := w4.Inject(values, st); !resultsEqual(got, ref) {
+				t.Fatalf("design %d trial %d width 4: %+v, scalar %+v", design, trial, got, ref)
+			}
+			if got := w8.Inject(values, st); !resultsEqual(got, ref) {
+				t.Fatalf("design %d trial %d width 8: %+v, scalar %+v", design, trial, got, ref)
+			}
+			for i := 0; i < nl.NumNodes(); i++ {
+				id := netlist.NodeID(i)
+				if !wavesEqual(w4.Wave(id), scalar.Wave(id)) || !wavesEqual(w8.Wave(id), scalar.Wave(id)) {
+					t.Fatalf("design %d trial %d: node %d waveform diverges", design, trial, id)
+				}
+			}
+		}
+	}
+}

@@ -19,16 +19,18 @@ smoke-server:
 	./scripts/smoke_ssfserver.sh
 
 # lint runs the full static-analysis stack: go vet, the project's custom
-# determinism analyzers (cmd/vetall), the netlist/model linter over the
-# shipped circuits and the built-in MPU, and — when the binaries are
-# installed — staticcheck and govulncheck. The last two are gated on
+# determinism/concurrency analyzers (cmd/vetall), the netlist/model
+# linter over the shipped circuits and the built-in MPU — including the
+# PL plan-verifier rules (-plan) that re-check every compiled logicsim
+# plan against its source netlist — and, when the binaries are
+# installed, staticcheck and govulncheck. The last two are gated on
 # availability so lint works in hermetic build environments; CI installs
-# them explicitly.
+# them explicitly (at pinned versions).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/vetall
-	$(GO) run ./cmd/netlint examples/circuits/*.gnl
-	$(GO) run ./cmd/netlint -builtin
+	$(GO) run ./cmd/netlint -plan examples/circuits/*.gnl
+	$(GO) run ./cmd/netlint -plan -builtin
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "lint: staticcheck not installed, skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \

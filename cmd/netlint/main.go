@@ -7,11 +7,20 @@
 // circuits — the ones worth linting — are loaded and diagnosed instead
 // of being rejected at the parser.
 //
+// With -plan, each lintable design is additionally compiled to its
+// logicsim evaluation plan (with the construction-time guard off, so a
+// rejected plan is diagnosed here instead of erroring) and the PL-family
+// plan-IR findings are appended to the target's report. The plan check
+// runs only when the netlist itself has no Error-severity finding — a
+// structurally broken netlist cannot compile.
+//
 // Usage:
 //
-//	netlint [-json] [-fail-on=info|warn|error] file.gnl ...
+//	netlint [-json] [-plan] [-fail-on=info|warn|error] file.gnl ...
 //	netlint -builtin            # lint the built-in MPU model
+//	netlint -plan -builtin      # also verify the MPU's compiled plan
 //
+// Findings are reported in deterministic order (node, then check ID).
 // Exit status: 0 when no finding reaches the -fail-on severity, 1 when
 // one does, 2 on usage or I/O errors.
 package main
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/logicsim"
 	"repro/internal/modelcheck"
 	"repro/internal/netlist"
 	"repro/internal/placement"
@@ -38,6 +48,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	failOnName := flag.String("fail-on", "error", "lowest severity that causes exit status 1: info | warn | error")
 	builtin := flag.Bool("builtin", false, "lint the built-in MPU model (placement + responding signals) instead of files")
+	plan := flag.Bool("plan", false, "also compile each design's evaluation plan and run the PL-family plan-IR verifier")
 	maxDepth := flag.Int("max-depth", 50, "unroll window for the responding-cone check (-builtin only)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: netlint [flags] file.gnl ...\n       netlint -builtin\n")
@@ -57,7 +68,7 @@ func main() {
 
 	var targets []target
 	if *builtin {
-		t, err := lintBuiltin(*maxDepth)
+		t, err := lintBuiltin(*maxDepth, *plan)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netlint:", err)
 			os.Exit(2)
@@ -65,13 +76,16 @@ func main() {
 		targets = append(targets, t)
 	} else {
 		for _, path := range flag.Args() {
-			t, err := lintFile(path)
+			t, err := lintFile(path, *plan)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "netlint:", err)
 				os.Exit(2)
 			}
 			targets = append(targets, t)
 		}
+	}
+	for _, t := range targets {
+		t.Report.Sort()
 	}
 
 	failed := false
@@ -103,8 +117,9 @@ func main() {
 }
 
 // lintFile parses one .gnl file without validation and runs the
-// netlist-structural checks over it.
-func lintFile(path string) (target, error) {
+// netlist-structural checks over it, plus the plan-IR verifier when
+// plan is set.
+func lintFile(path string, plan bool) (target, error) {
 	fh, err := os.Open(path)
 	if err != nil {
 		return target{}, err
@@ -114,12 +129,19 @@ func lintFile(path string) (target, error) {
 	if err != nil {
 		return target{}, fmt.Errorf("%s: %w", path, err)
 	}
-	return target{Name: path, Report: modelcheck.CheckNetlist(n)}, nil
+	report := modelcheck.CheckNetlist(n)
+	if plan {
+		if err := lintPlan(n, report); err != nil {
+			return target{}, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return target{Name: path, Report: report}, nil
 }
 
 // lintBuiltin elaborates the built-in MPU, places it, and runs the full
-// model-level check set over it.
-func lintBuiltin(maxDepth int) (target, error) {
+// model-level check set over it, plus the plan-IR verifier when plan is
+// set.
+func lintBuiltin(maxDepth int, plan bool) (target, error) {
 	mpu, err := soc.BuildMPU(soc.DefaultMPUConfig())
 	if err != nil {
 		return target{}, fmt.Errorf("building MPU: %w", err)
@@ -130,5 +152,27 @@ func lintBuiltin(maxDepth int) (target, error) {
 		Responding: mpu.RespondingSignals,
 		MaxDepth:   maxDepth,
 	})
+	if plan {
+		if err := lintPlan(mpu.Netlist, report); err != nil {
+			return target{}, err
+		}
+	}
 	return target{Name: "builtin:mpu", Report: report}, nil
+}
+
+// lintPlan compiles the netlist's evaluation plan with the
+// construction-time guard disabled — the verifier below is the point —
+// and appends the PL-family findings to the report. Skipped when the
+// netlist already carries Error findings (it cannot compile); compile
+// failures beyond that (packed-op field limits) are hard errors.
+func lintPlan(n *netlist.Netlist, report *modelcheck.Report) error {
+	if report.HasAtLeast(modelcheck.Error) {
+		return nil
+	}
+	p, err := logicsim.CompileWithOptions(n, logicsim.CompileOptions{SkipPlanCheck: true})
+	if err != nil {
+		return fmt.Errorf("compiling plan: %w", err)
+	}
+	report.Findings = append(report.Findings, modelcheck.CheckPlan(n, p.View()).Findings...)
+	return nil
 }

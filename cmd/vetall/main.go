@@ -1,23 +1,34 @@
-// Command vetall runs the project's custom determinism analyzers
-// (tools/analyzers) over the module source tree:
+// Command vetall runs the project's custom determinism and concurrency
+// analyzers (tools/analyzers) over the module source tree — internal/,
+// cmd/, tools/, and examples/ alike:
 //
 //   - norandglobal — everywhere: the shared global math/rand source is
 //     banned outside tests.
 //   - noallochot — everywhere: allocations inside //hot loops.
+//   - mapiterdet — everywhere: map iteration order flowing into
+//     results or reports.
+//   - lockguard — everywhere: //guarded-by:mu annotated struct fields
+//     accessed without their mutex.
+//   - seedflow — everywhere: rand sources seeded from the wall clock,
+//     the pid, or crypto/rand.
+//   - errdrop — everywhere: statement calls discarding an error result.
 //   - nowallclock — only in the simulation packages, where host-clock
 //     reads would make behaviour machine-dependent.
 //
-// It prints one line per finding and exits 1 when there are any, so
-// `make lint` and CI can gate on it.
+// Findings are printed in deterministic order (file, position, analyzer
+// name) — one line each, or a JSON array with -json so CI can archive
+// the findings as an artifact. Exit status 1 when there are findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/tools/analyzers"
@@ -41,8 +52,18 @@ var simulationDirs = map[string]bool{
 	"internal/timingsim":   true,
 }
 
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Msg      string `json:"msg"`
+}
+
 func main() {
 	root := flag.String("root", "", "module root to scan (default: walk up from cwd to go.mod)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (always, even when empty)")
 	flag.Parse()
 	if *root == "" {
 		r, err := findModuleRoot()
@@ -59,14 +80,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	failed := false
+	var diags []analyzers.Diagnostic
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(*root, dir)
 		if err != nil {
 			rel = dir
 		}
 		rel = filepath.ToSlash(rel)
-		set := []*analyzers.Analyzer{analyzers.NoRandGlobal, analyzers.NoAllocHot}
+		set := []*analyzers.Analyzer{
+			analyzers.NoRandGlobal,
+			analyzers.NoAllocHot,
+			analyzers.MapIterDet,
+			analyzers.LockGuard,
+			analyzers.SeedFlow,
+			analyzers.ErrDrop,
+		}
 		if simulationDirs[rel] {
 			set = append(set, analyzers.NoWallClock)
 		}
@@ -76,15 +104,58 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vetall:", err)
 			os.Exit(2)
 		}
-		for _, d := range analyzers.Run(fset, files, set) {
+		diags = append(diags, analyzers.Run(fset, files, set)...)
+	}
+	// Global deterministic order across package directories: file,
+	// position, analyzer name, message. Run already sorts within one
+	// directory by position; the cross-directory walk order and the
+	// analyzer tiebreak are pinned here so repeated runs and CI
+	// artifacts diff cleanly.
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Msg < b.Msg
+	})
+
+	if *jsonOut {
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Msg:      d.Msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "vetall:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Println(d)
-			failed = true
+		}
+		if len(diags) == 0 {
+			fmt.Println("vetall: no findings")
 		}
 	}
-	if failed {
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
-	fmt.Println("vetall: no findings")
 }
 
 // findModuleRoot walks up from the working directory to the directory

@@ -9,6 +9,7 @@ package logicsim
 import (
 	"fmt"
 
+	"repro/internal/modelcheck"
 	"repro/internal/netlist"
 )
 
@@ -83,12 +84,31 @@ type Plan struct {
 	maxFanin int
 }
 
+// CompileOptions configures plan compilation.
+type CompileOptions struct {
+	// SkipPlanCheck disables the construction-time plan verification
+	// (modelcheck.CheckPlan, the PL rule family). The guard is
+	// errors-only and purely read-only — fixed-seed simulation results
+	// are bit-identical either way — so the escape hatch exists for
+	// tooling that wants to inspect a rejected plan (netlint -plan) and
+	// for benchmarks of compilation itself, not for production use.
+	SkipPlanCheck bool
+}
+
 // Compile builds the evaluation plan for a netlist. The netlist must be
 // valid and must not be mutated afterwards (the plan, like the cached
 // topological order, is a snapshot of the structure). Compile fails if
 // the design exceeds the packed-op field widths: 2^24 nodes, 2^24 total
 // fanin references, or 2^10 fanins on one cell.
+//
+// The compiled plan is statically verified against the netlist before
+// being returned (the PL rule family); see CompileOptions.SkipPlanCheck.
 func Compile(nl *netlist.Netlist) (*Plan, error) {
+	return CompileWithOptions(nl, CompileOptions{})
+}
+
+// CompileWithOptions is Compile with explicit options.
+func CompileWithOptions(nl *netlist.Netlist, opts CompileOptions) (*Plan, error) {
 	order, err := nl.TopoOrder()
 	if err != nil {
 		return nil, err
@@ -135,6 +155,16 @@ func Compile(nl *netlist.Netlist) (*Plan, error) {
 		p.regSrc[i] = int32(node.Fanin[0])
 		if node.Init {
 			p.initHi = append(p.initHi, int32(r))
+		}
+	}
+	if !opts.SkipPlanCheck {
+		// Construction-time guard: the plan is about to be shared
+		// immutably by every fork and wide-lane evaluator, so any
+		// Error-severity PL finding rejects it here. The check reads
+		// the plan and netlist only — results are bit-identical with
+		// the guard on or off.
+		if err := modelcheck.CheckPlan(nl, p.View()).Err(modelcheck.Error); err != nil {
+			return nil, fmt.Errorf("logicsim: compiled plan failed static verification: %w", err)
 		}
 	}
 	return p, nil

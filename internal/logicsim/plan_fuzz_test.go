@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/modelcheck"
 	"repro/internal/netlist"
 )
 
@@ -39,6 +40,16 @@ func FuzzPlanEquivalence(f *testing.F) {
 		nl, err := netlist.Read(strings.NewReader(src))
 		if err != nil {
 			return
+		}
+		// Static verifier sweep: every netlist the fuzzer can compile
+		// must yield a plan with no Error-severity PL finding — an
+		// error here is either a compiler bug or a verifier false
+		// positive, and both must surface. Compile with the guard off
+		// so the verdict comes from the explicit check below.
+		if p, err := CompileWithOptions(nl, CompileOptions{SkipPlanCheck: true}); err == nil {
+			if err := modelcheck.CheckPlan(nl, p.View()).Err(modelcheck.Error); err != nil {
+				t.Fatalf("compiled plan rejected by verifier: %v", err)
+			}
 		}
 		plan, err := New(nl)
 		if err != nil {

@@ -1,0 +1,86 @@
+// Plan decoding for static verification: View unpacks the packed op
+// stream into modelcheck's plain-data PlanView so the PL-family
+// verifier (and netlint -plan) can check the compiled plan against its
+// source netlist without knowing the bit packing. The decode is
+// defensive — a corrupted plan yields a view with out-of-range fields
+// or nil fanin lists for the verifier to report, never a panic here.
+package logicsim
+
+import (
+	"repro/internal/modelcheck"
+	"repro/internal/netlist"
+)
+
+// opcodeCell maps each plan opcode to the cell type it computes and the
+// fanin count fixed by the opcode (-1 for the variable-fanin codes,
+// which read the op's encoded count).
+var opcodeCell = [...]struct {
+	cell  netlist.CellType
+	arity int
+}{
+	opConst0: {netlist.Const0, 0},
+	opConst1: {netlist.Const1, 0},
+	opBuf:    {netlist.Buf, 1},
+	opInv:    {netlist.Inv, 1},
+	opAnd2:   {netlist.And, 2},
+	opAndN:   {netlist.And, -1},
+	opNand2:  {netlist.Nand, 2},
+	opNandN:  {netlist.Nand, -1},
+	opOr2:    {netlist.Or, 2},
+	opOrN:    {netlist.Or, -1},
+	opNor2:   {netlist.Nor, 2},
+	opNorN:   {netlist.Nor, -1},
+	opXor2:   {netlist.Xor, 2},
+	opXorN:   {netlist.Xor, -1},
+	opXnor2:  {netlist.Xnor, 2},
+	opXnorN:  {netlist.Xnor, -1},
+	opMux2:   {netlist.Mux2, 3},
+}
+
+// View decodes the plan into modelcheck's plain-data form. The view is
+// a snapshot: it shares nothing with the plan's packed arrays and can
+// be mutated freely (the verifier tests corrupt views field by field).
+func (p *Plan) View() modelcheck.PlanView {
+	v := modelcheck.PlanView{
+		NumNodes: p.numNodes,
+		PoolSize: len(p.pool),
+		MaxFanin: p.maxFanin,
+		Ops:      make([]modelcheck.PlanOp, len(p.ops)),
+		Regs:     toNodeIDs(p.regs),
+		RegSrc:   toNodeIDs(p.regSrc),
+		InitHi:   toNodeIDs(p.initHi),
+	}
+	for i, op := range p.ops {
+		o := &v.Ops[i]
+		o.Out = netlist.NodeID(op & opOutMask)
+		o.Nin = int(op >> opNinShift & opNinMask)
+		o.PoolOff = int(op >> opOffShift)
+		code := op >> opCodeShift & opCodeMask
+		o.Arity = -1
+		if int(code) < len(opcodeCell) {
+			o.Cell = opcodeCell[code].cell
+			o.Arity = opcodeCell[code].arity
+			o.CellOK = true
+		}
+		eff := o.Arity
+		if eff < 0 {
+			eff = o.Nin
+		}
+		if o.CellOK && o.PoolOff >= 0 && o.PoolOff+eff <= len(p.pool) {
+			fan := make([]netlist.NodeID, eff)
+			for j := range fan {
+				fan[j] = netlist.NodeID(p.pool[o.PoolOff+j])
+			}
+			o.Fanin = fan
+		}
+	}
+	return v
+}
+
+func toNodeIDs(xs []int32) []netlist.NodeID {
+	out := make([]netlist.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = netlist.NodeID(x)
+	}
+	return out
+}

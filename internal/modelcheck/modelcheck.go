@@ -234,6 +234,24 @@ func (r *Report) ByID(id string) []Finding {
 	return out
 }
 
+// Sort orders the findings deterministically for presentation: by node,
+// then check ID, then message. Check functions append findings in rule
+// order, which is already deterministic but interleaves rules; sorted
+// output groups everything wrong with one node together and is stable
+// across refactors of the rule order.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Msg < b.Msg
+	})
+}
+
 // Err converts the report into an error when any finding is at or above
 // failOn; nil otherwise. The error message lists the qualifying
 // findings.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/netlist"
@@ -289,19 +290,30 @@ func (c *Campaign) CriticalRegisters() []CriticalRegister {
 // ranking.
 func RankContributions(maps ...map[netlist.NodeID]float64) []CriticalRegister {
 	merged := map[netlist.NodeID]float64{}
-	total := 0.0
 	for _, m := range maps {
+		//maporder-ok (per-key accumulation; totals are summed in sorted order below)
 		for r, v := range m {
 			merged[r] += v
-			total += v
 		}
+	}
+	out := make([]CriticalRegister, 0, len(merged))
+	//maporder-ok (collected then sorted by register id before any float fold)
+	for r, v := range merged {
+		out = append(out, CriticalRegister{Reg: r, Share: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Reg < out[j].Reg })
+	// Float addition is not associative, so the total — and through it
+	// every normalized share — must be folded in a fixed order, not map
+	// iteration order.
+	total := 0.0
+	for i := range out {
+		total += out[i].Share
 	}
 	if total == 0 {
 		return nil
 	}
-	out := make([]CriticalRegister, 0, len(merged))
-	for r, v := range merged {
-		out = append(out, CriticalRegister{Reg: r, Share: v / total})
+	for i := range out {
+		out[i].Share /= total
 	}
 	// Deterministic order: by share desc, then id.
 	for i := 1; i < len(out); i++ {

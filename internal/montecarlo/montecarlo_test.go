@@ -375,6 +375,29 @@ func TestRankContributionsMerge(t *testing.T) {
 	}
 }
 
+func TestRankContributionsDeterministic(t *testing.T) {
+	// Catastrophic-cancellation values: the float total (and through it
+	// every share) differs in the last ulps depending on summation
+	// order, so this fails if the fold ever follows map iteration order
+	// again.
+	m := map[netlist.NodeID]float64{0: 1e16, 1: 1, 2: -1e16, 3: 1e-3}
+	for id := netlist.NodeID(4); id < 64; id++ {
+		m[id] = 0.1 * float64(id)
+	}
+	base := montecarlo.RankContributions(m)
+	for run := 0; run < 200; run++ {
+		got := montecarlo.RankContributions(m)
+		if len(got) != len(base) {
+			t.Fatalf("run %d: length %d != %d", run, len(got), len(base))
+		}
+		for i := range got {
+			if got[i].Reg != base[i].Reg || math.Float64bits(got[i].Share) != math.Float64bits(base[i].Share) {
+				t.Fatalf("run %d: entry %d = %+v, want bit-identical %+v", run, i, got[i], base[i])
+			}
+		}
+	}
+}
+
 func TestAttributeSuccessFiltersPassengers(t *testing.T) {
 	ev := evaluation(t)
 	groups := ev.Engine.SoC.MPU.Groups

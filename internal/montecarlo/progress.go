@@ -43,8 +43,8 @@ type progressAgg struct {
 	start time.Time
 
 	mu       sync.Mutex
-	shards   []shardProgress
-	lastDone int
+	shards   []shardProgress //guarded-by:mu
+	lastDone int             //guarded-by:mu
 }
 
 // shardProgress mirrors one shard's current campaign. The base fields

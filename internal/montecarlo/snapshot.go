@@ -100,6 +100,7 @@ func (c *Campaign) Snapshot() *CampaignSnapshot {
 	}
 	if len(c.Patterns) > 0 {
 		s.Patterns = make([]string, 0, len(c.Patterns))
+		//maporder-ok (sorted immediately below)
 		for p := range c.Patterns {
 			s.Patterns = append(s.Patterns, p)
 		}

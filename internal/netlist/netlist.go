@@ -279,6 +279,7 @@ func (n *Netlist) FindOutput(name string) (NodeID, bool) {
 // (e.g. every bit of a multi-bit register) by prefix.
 func (n *Netlist) NamesMatching(pred func(string) bool) []NodeID {
 	var ids []NodeID
+	//maporder-ok (sorted by id below)
 	for name, id := range n.byName {
 		if pred(name) {
 			ids = append(ids, id)

@@ -427,6 +427,7 @@ func (c *Characterization) ComputationRegs() []netlist.NodeID {
 
 func (c *Characterization) selectRegs(memory bool) []netlist.NodeID {
 	var out []netlist.NodeID
+	//maporder-ok (sorted by id below)
 	for _, rc := range c.Regs {
 		if rc.MemoryType == memory {
 			out = append(out, rc.Reg)

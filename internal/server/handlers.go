@@ -84,6 +84,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	statuses := make([]JobStatus, 0, len(s.jobs))
+	//maporder-ok (sorted by submission time then id below)
 	for _, j := range s.jobs {
 		statuses = append(statuses, j.status())
 	}
@@ -159,7 +160,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				// Hub finished after we subscribed: replay the
 				// terminal event.
 				if final, _, _ := j.hub.subscribe(); len(final) > 0 {
-					writeSSE(bw, final[len(final)-1])
+					// Stream ends either way; a write error just means
+					// the client is already gone.
+					_ = writeSSE(bw, final[len(final)-1])
 				}
 				return
 			}
@@ -171,11 +174,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the ResponseWriter: once the status line
+	// is out, an encode failure (e.g. a NaN float) would truncate the
+	// body under a success code. After WriteHeader the write error is
+	// unactionable (client gone), so that one is deliberately dropped.
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		data = []byte(`{"error":"response encoding failed"}`)
+		code = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	data = append(data, '\n')
+	_, _ = w.Write(data)
 }
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {

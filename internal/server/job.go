@@ -175,17 +175,17 @@ type ProgressEvent struct {
 // jobRecord is the persisted form of a job — everything needed to serve
 // its status and to resume it after a restart.
 type jobRecord struct {
-	ID          string                        `json:"id"`
-	Tenant      string                        `json:"tenant"`
-	Request     JobRequest                    `json:"request"`
-	State       string                        `json:"state"`
-	SubmittedAt time.Time                     `json:"submitted_at"`
-	StartedAt   time.Time                     `json:"started_at"`
-	FinishedAt  time.Time                     `json:"finished_at"`
-	Rounds      int64                         `json:"rounds,omitempty"`
-	Checkpoint  *montecarlo.CampaignSnapshot  `json:"checkpoint,omitempty"`
-	Result      *JobResult                    `json:"result,omitempty"`
-	Error       string                        `json:"error,omitempty"`
+	ID          string                       `json:"id"`
+	Tenant      string                       `json:"tenant"`
+	Request     JobRequest                   `json:"request"`
+	State       string                       `json:"state"`
+	SubmittedAt time.Time                    `json:"submitted_at"`
+	StartedAt   time.Time                    `json:"started_at"`
+	FinishedAt  time.Time                    `json:"finished_at"`
+	Rounds      int64                        `json:"rounds,omitempty"`
+	Checkpoint  *montecarlo.CampaignSnapshot `json:"checkpoint,omitempty"`
+	Result      *JobResult                   `json:"result,omitempty"`
+	Error       string                       `json:"error,omitempty"`
 }
 
 // JobStatus is the API view of a job (GET /v1/jobs/{id}).
@@ -207,10 +207,10 @@ type JobStatus struct {
 // (SSE hub, cancellation, latest progress).
 type Job struct {
 	mu       sync.Mutex
-	rec      jobRecord
-	progress *ProgressEvent
-	hub      *sseHub
-	cancel   context.CancelFunc
+	rec      jobRecord          //guarded-by:mu
+	progress *ProgressEvent     //guarded-by:mu
+	hub      *sseHub            // immutable after newJob; the hub carries its own lock
+	cancel   context.CancelFunc //guarded-by:mu
 }
 
 func newJob(rec jobRecord) *Job {

@@ -19,7 +19,7 @@ type limiterPool struct {
 	burst float64
 
 	mu      sync.Mutex
-	buckets map[string]*tokenBucket
+	buckets map[string]*tokenBucket //guarded-by:mu
 }
 
 // newLimiterPool builds a limiter; rate <= 0 disables limiting.

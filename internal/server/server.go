@@ -83,14 +83,14 @@ type Server struct {
 	poolMu sync.Mutex
 
 	mu       sync.Mutex
-	jobs     map[string]*Job
-	queue    chan *Job
-	samplers map[string]sampling.Sampler
+	jobs     map[string]*Job             //guarded-by:mu
+	queue    chan *Job                   // immutable after New; channel ops are self-synchronizing
+	samplers map[string]sampling.Sampler //guarded-by:mu
 
-	runCtx  context.Context
-	cancel  context.CancelFunc
+	runCtx  context.Context    //guarded-by:mu
+	cancel  context.CancelFunc //guarded-by:mu
 	wg      sync.WaitGroup
-	started bool
+	started bool //guarded-by:mu
 }
 
 // New builds a server over an engine pool and a store directory,
@@ -150,9 +150,13 @@ func (s *Server) Start() {
 		return
 	}
 	s.started = true
-	s.runCtx, s.cancel = context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background())
+	s.runCtx, s.cancel = ctx, cancel
 	s.wg.Add(1)
-	go s.worker()
+	// The worker gets its context as a parameter rather than reading
+	// s.runCtx, so a later Start (after Shutdown) can reassign the field
+	// without the old goroutine ever observing it.
+	go s.worker(ctx)
 }
 
 // Shutdown stops the worker, cancelling any running campaign (it
@@ -176,14 +180,14 @@ func (s *Server) Shutdown() {
 // worker drains the queue, one job at a time: the engine pool runs one
 // campaign at a time, and each job's samples are already partitioned
 // across every engine in the pool.
-func (s *Server) worker() {
+func (s *Server) worker(ctx context.Context) {
 	defer s.wg.Done()
 	for {
 		select {
-		case <-s.runCtx.Done():
+		case <-ctx.Done():
 			return
 		case j := <-s.queue:
-			s.runJob(j)
+			s.runJob(ctx, j)
 		}
 	}
 }
@@ -288,7 +292,7 @@ func (s *Server) cancelJob(j *Job) bool {
 // one exists, checkpoint every CheckpointEvery rounds, stream progress
 // to the job's SSE hub, and persist the terminal state. A server
 // shutdown mid-job re-queues it instead of failing it.
-func (s *Server) runJob(j *Job) {
+func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.mu.Lock()
 	if j.rec.State != StateQueued { // cancelled while waiting
 		j.mu.Unlock()
@@ -298,7 +302,7 @@ func (s *Server) runJob(j *Job) {
 	if j.rec.StartedAt.IsZero() {
 		j.rec.StartedAt = time.Now().UTC()
 	}
-	jctx, cancel := context.WithCancel(s.runCtx)
+	jctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	j.cancel = cancel
 	rec := j.rec
@@ -356,7 +360,7 @@ func (s *Server) runJob(j *Job) {
 	s.poolMu.Unlock()
 
 	if err != nil && errors.Is(err, context.Canceled) {
-		if s.runCtx.Err() != nil {
+		if ctx.Err() != nil {
 			// Server shutdown: back to the queue; the on-disk
 			// checkpoint resumes the job after restart.
 			j.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -542,5 +543,81 @@ func TestRankDeterministic(t *testing.T) {
 	if byName["top8"].AreaOverhead <= byName["top3"].AreaOverhead {
 		t.Errorf("top8 overhead %v not above top3 %v",
 			byName["top8"].AreaOverhead, byName["top3"].AreaOverhead)
+	}
+}
+
+func TestWriteJSONMarshalFailure(t *testing.T) {
+	// A value json cannot encode (NaN) must produce a clean 500, not a
+	// truncated body under a success status line.
+	w := httptest.NewRecorder()
+	writeJSON(w, http.StatusOK, map[string]float64{"ssf": math.NaN()})
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body is not JSON: %v (%q)", err, w.Body.String())
+	}
+	if body["error"] == "" {
+		t.Fatalf("error body %q carries no error field", w.Body.String())
+	}
+
+	// And the healthy path still round-trips with the requested status.
+	w = httptest.NewRecorder()
+	writeJSON(w, http.StatusAccepted, map[string]int{"n": 7})
+	if w.Code != http.StatusAccepted || !strings.Contains(w.Body.String(), `"n": 7`) {
+		t.Fatalf("healthy writeJSON: status %d body %q", w.Code, w.Body.String())
+	}
+}
+
+func TestStartShutdownRestart(t *testing.T) {
+	// Start/Shutdown/Start cycles under concurrent API traffic: the
+	// worker goroutine receives its context as a parameter, so an old
+	// worker never races the runCtx reassignment of a later Start. Run
+	// with -race to get the full value of this test.
+	srv := newTestServer(t, Config{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := srv.Handler()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/jobs", nil))
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		srv.Start()
+		srv.Start() // idempotent
+		srv.Shutdown()
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the final restart the worker must still drain the queue.
+	srv.Start()
+	defer srv.Shutdown()
+	req := JobRequest{Samples: 200, Sampler: "random", Seed: 7}
+	if err := req.normalize(srv.cfg.MaxSamples); err != nil {
+		t.Fatal(err)
+	}
+	j, err := srv.submit("default", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for j.state() != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s after restart cycles", j.state())
+		}
+		if j.state() == StateFailed {
+			t.Fatalf("job failed: %s", j.snapshotRecord().Error)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -21,9 +21,9 @@ type sseMsg struct {
 // channel, so it is never lost to that policy.
 type sseHub struct {
 	mu    sync.Mutex
-	subs  map[chan sseMsg]struct{}
-	last  *sseMsg // latest progress event, replayed to new subscribers
-	final *sseMsg // terminal event; set once, then the hub is closed
+	subs  map[chan sseMsg]struct{} //guarded-by:mu
+	last  *sseMsg                  //guarded-by:mu — latest progress event, replayed to new subscribers
+	final *sseMsg                  //guarded-by:mu — terminal event; set once, then the hub is closed
 }
 
 func newSSEHub() *sseHub {
@@ -38,6 +38,7 @@ func (h *sseHub) publish(m sseMsg) {
 		return
 	}
 	h.last = &m
+	//maporder-ok (subscribers are independent; each sees events in publish order)
 	for ch := range h.subs {
 		select {
 		case ch <- m:

@@ -44,10 +44,12 @@ func (s *Store) Save(rec jobRecord) error {
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
+		//errdrop-ok (best-effort temp cleanup; the write error is what matters)
 		os.Remove(tmp.Name())
 		return fmt.Errorf("server: store: write %s: %w", rec.ID, errFirst(werr, cerr))
 	}
 	if err := os.Rename(tmp.Name(), s.path(rec.ID)); err != nil {
+		//errdrop-ok (best-effort temp cleanup; the rename error is what matters)
 		os.Remove(tmp.Name())
 		return fmt.Errorf("server: store: %w", err)
 	}

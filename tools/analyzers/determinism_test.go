@@ -1,0 +1,324 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- mapiterdet ---
+
+func TestMapIterDetFlagsAppendInMapRange(t *testing.T) {
+	src := `package p
+func f(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`
+	diags := runOn(t, MapIterDet, "p/f.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "append") {
+		t.Fatalf("want one append finding, got %v", diags)
+	}
+}
+
+func TestMapIterDetFlagsFloatAccumulation(t *testing.T) {
+	src := `package p
+func f(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+	diags := runOn(t, MapIterDet, "p/f.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "floating-point") {
+		t.Fatalf("want one float-accumulation finding, got %v", diags)
+	}
+}
+
+func TestMapIterDetAllowsPerKeyUpdates(t *testing.T) {
+	src := `package p
+func f(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64)
+	n := 0
+	for k, v := range m {
+		out[k] += v
+		n++
+	}
+	_ = n
+	return out
+}
+`
+	if diags := runOn(t, MapIterDet, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("per-key update and int count are order-insensitive, got %v", diags)
+	}
+}
+
+func TestMapIterDetSeesStructFields(t *testing.T) {
+	src := `package p
+import "fmt"
+type S struct{ jobs map[string]int }
+func (s *S) dump() {
+	for id := range s.jobs {
+		fmt.Println(id)
+	}
+}
+`
+	diags := runOn(t, MapIterDet, "p/f.go", src)
+	if len(diags) != 1 {
+		t.Fatalf("want one struct-field map finding, got %v", diags)
+	}
+}
+
+func TestMapIterDetSuppression(t *testing.T) {
+	src := `package p
+func f(m map[int]string) []string {
+	var out []string
+	//maporder-ok (sorted before use)
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+`
+	if diags := runOn(t, MapIterDet, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("want suppression to hold, got %v", diags)
+	}
+}
+
+func TestMapIterDetSkipsNonMapRange(t *testing.T) {
+	src := `package p
+func f(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}
+`
+	if diags := runOn(t, MapIterDet, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("slice range must not be flagged, got %v", diags)
+	}
+}
+
+// --- lockguard ---
+
+func TestLockGuardFlagsUnlockedAccess(t *testing.T) {
+	src := `package p
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int //guarded-by:mu
+}
+func (s *S) bump() { s.n++ }
+`
+	diags := runOn(t, LockGuard, "p/f.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "guarded-by:mu") {
+		t.Fatalf("want one unguarded-access finding, got %v", diags)
+	}
+}
+
+func TestLockGuardAllowsLockedAccess(t *testing.T) {
+	src := `package p
+import "sync"
+type S struct {
+	mu sync.RWMutex
+	n  int //guarded-by:mu
+}
+func (s *S) bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+func (s *S) get() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+`
+	if diags := runOn(t, LockGuard, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("locked accesses must pass, got %v", diags)
+	}
+}
+
+func TestLockGuardAllowsConstructor(t *testing.T) {
+	src := `package p
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int //guarded-by:mu
+}
+func New() *S {
+	s := &S{}
+	s.n = 1
+	return s
+}
+`
+	if diags := runOn(t, LockGuard, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("constructor access must pass, got %v", diags)
+	}
+}
+
+func TestLockGuardDocCommentAndSuppression(t *testing.T) {
+	src := `package p
+import "sync"
+type S struct {
+	mu sync.Mutex
+	//guarded-by:mu
+	n int
+}
+func (s *S) peek() int {
+	//unguarded-ok (racy stats read, tolerated)
+	return s.n
+}
+`
+	if diags := runOn(t, LockGuard, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("want doc-comment annotation with suppression to pass, got %v", diags)
+	}
+}
+
+func TestLockGuardChecksAcrossVariables(t *testing.T) {
+	src := `package p
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int //guarded-by:mu
+}
+func twiddle(a, b *S) {
+	a.mu.Lock()
+	a.n++
+	b.n++
+	a.mu.Unlock()
+}
+`
+	diags := runOn(t, LockGuard, "p/f.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "b.n") {
+		t.Fatalf("locking a must not cover b, got %v", diags)
+	}
+}
+
+// --- seedflow ---
+
+func TestSeedFlowFlagsWallClockSeed(t *testing.T) {
+	src := `package p
+import (
+	"math/rand"
+	"time"
+)
+func f() *rand.Rand { return rand.New(rand.NewSource(time.Now().UnixNano())) }
+`
+	diags := runOn(t, SeedFlow, "p/f.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "wall clock") {
+		t.Fatalf("want one wall-clock seed finding, got %v", diags)
+	}
+}
+
+func TestSeedFlowFlagsPidSeed(t *testing.T) {
+	src := `package p
+import (
+	"math/rand"
+	"os"
+)
+func f() rand.Source { return rand.NewSource(int64(os.Getpid())) }
+`
+	diags := runOn(t, SeedFlow, "p/f.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "Getpid") {
+		t.Fatalf("want one pid seed finding, got %v", diags)
+	}
+}
+
+func TestSeedFlowAllowsDerivedSeeds(t *testing.T) {
+	src := `package p
+import "math/rand"
+func f(seed int64, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000003 + int64(shard)))
+}
+`
+	if diags := runOn(t, SeedFlow, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("derived seed must pass, got %v", diags)
+	}
+}
+
+func TestSeedFlowSuppressionAndTests(t *testing.T) {
+	src := `package p
+import (
+	"math/rand"
+	"time"
+)
+func f() rand.Source {
+	//seed-ok (jitter source, not a campaign)
+	return rand.NewSource(time.Now().UnixNano())
+}
+`
+	if diags := runOn(t, SeedFlow, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("want suppression to hold, got %v", diags)
+	}
+	unsuppressed := strings.ReplaceAll(src, "//seed-ok (jitter source, not a campaign)\n\t", "")
+	if diags := runOn(t, SeedFlow, "p/f_test.go", unsuppressed); len(diags) != 0 {
+		t.Fatalf("test files are exempt, got %v", diags)
+	}
+}
+
+// --- errdrop ---
+
+func TestErrDropFlagsLocalErrorReturner(t *testing.T) {
+	src := `package p
+func save() error { return nil }
+func f() { save() }
+`
+	diags := runOn(t, ErrDrop, "p/f.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "save") {
+		t.Fatalf("want one dropped-error finding, got %v", diags)
+	}
+}
+
+func TestErrDropFlagsEncodeAndRemove(t *testing.T) {
+	src := `package p
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+func f(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v)
+	os.Remove("x")
+}
+`
+	diags := runOn(t, ErrDrop, "p/f.go", src)
+	if len(diags) != 2 {
+		t.Fatalf("want Encode and Remove findings, got %v", diags)
+	}
+}
+
+func TestErrDropAllowsHandledAndDeferred(t *testing.T) {
+	src := `package p
+import "os"
+func save() error { return nil }
+func f() error {
+	if err := save(); err != nil {
+		return err
+	}
+	_ = save()
+	defer os.Remove("x")
+	//errdrop-ok (best-effort cleanup)
+	os.Remove("y")
+	return nil
+}
+`
+	if diags := runOn(t, ErrDrop, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("handled/deferred/suppressed drops must pass, got %v", diags)
+	}
+}
+
+func TestErrDropSkipsNonErrorLocals(t *testing.T) {
+	src := `package p
+func count() int { return 0 }
+func f() { count() }
+`
+	if diags := runOn(t, ErrDrop, "p/f.go", src); len(diags) != 0 {
+		t.Fatalf("non-error function must pass, got %v", diags)
+	}
+}

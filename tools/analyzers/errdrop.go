@@ -1,0 +1,98 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// ErrDrop flags statement-position calls that silently discard an
+// error result. Two classes of callee are checked: functions and
+// methods declared in the analyzed package whose last result is an
+// error (the framework is stdlib-only and has no cross-package type
+// information), and a short list of stdlib names whose dropped errors
+// have bitten real systems on exactly our I/O paths — Encoder.Encode
+// (a failed encode sends a truncated HTTP body with a 200 status) and
+// os.Remove.
+//
+// An explicit `_ = f()` assignment is an acknowledged discard and is
+// not flagged; neither are `defer`/`go` statements (cleanup-path drops
+// are conventional and the call is not an expression statement there).
+// Because matching is name-based, local method names only match calls
+// whose receiver is a plain identifier (`j.persist()`, not
+// `c.Est.Merge(...)`) — a nested receiver usually means a different
+// type that happens to share the method name. A best-effort call whose
+// error is genuinely meaningless is suppressed with an //errdrop-ok
+// comment on the line or the line above.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag statement calls discarding an error result (suppress with //errdrop-ok)",
+	Run: func(p *Pass) {
+		// Package-local functions and methods whose last result is an
+		// error, collected across the non-test files of the package.
+		funcErr := make(map[string]bool)
+		methodErr := make(map[string]bool)
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fn, isFn := decl.(*ast.FuncDecl)
+				if !isFn || fn.Type.Results == nil || len(fn.Type.Results.List) == 0 {
+					continue
+				}
+				last := fn.Type.Results.List[len(fn.Type.Results.List)-1]
+				if id, isIdent := last.Type.(*ast.Ident); isIdent && id.Name == "error" {
+					if fn.Recv != nil {
+						methodErr[fn.Name.Name] = true
+					} else {
+						funcErr[fn.Name.Name] = true
+					}
+				}
+			}
+		}
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			ok := commentLines(p.Fset, f.AST, "errdrop-ok")
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				stmt, isExpr := n.(*ast.ExprStmt)
+				if !isExpr {
+					return true
+				}
+				call, isCall := stmt.X.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				name := ""
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if funcErr[fun.Name] {
+						name = fun.Name
+					}
+				case *ast.SelectorExpr:
+					if riskyDrops[fun.Sel.Name] {
+						name = fun.Sel.Name
+						break
+					}
+					if _, recvIsIdent := fun.X.(*ast.Ident); recvIsIdent && (methodErr[fun.Sel.Name] || funcErr[fun.Sel.Name]) {
+						name = fun.Sel.Name
+					}
+				}
+				if name == "" {
+					return true
+				}
+				line := p.Fset.Position(call.Pos()).Line
+				if !ok[line] && !ok[line-1] {
+					p.Reportf(call.Pos(), "result of %s is an error and this statement discards it; handle it, assign to _, or mark the line //errdrop-ok with the reason", name)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// riskyDrops are non-local callee names flagged by name alone.
+var riskyDrops = map[string]bool{
+	"Encode": true,
+	"Remove": true,
+}

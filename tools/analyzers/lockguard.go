@@ -1,0 +1,179 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockGuard checks annotation-driven mutex discipline: a struct field
+// carrying a `//guarded-by:mu` comment (where mu names a sync.Mutex or
+// sync.RWMutex field of the same struct) may only be accessed through a
+// variable whose guarding mutex was locked earlier in the same function
+// (`x.mu.Lock()` or `x.mu.RLock()` preceding `x.field`).
+//
+// The check is positional and name-based — the stdlib-only framework
+// has no type information — so it catches the forgot-to-lock-at-all
+// class, not every unlock/re-lock interleaving. Two escapes keep it
+// precise: a function that builds the value itself from a composite
+// literal (`s := &Server{...}`) is a constructor and runs before the
+// value is shared, so its accesses are exempt; and a deliberately
+// unguarded access (e.g. reading an immutable-after-construction field)
+// is suppressed with an //unguarded-ok comment on the access line or
+// the line above it.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "check //guarded-by:mu annotated fields are accessed under their mutex (suppress with //unguarded-ok)",
+	Run: func(p *Pass) {
+		// guards maps an annotated field name to its mutex field name,
+		// collected package-wide so methods in other files are checked.
+		guards := make(map[string]string)
+		owner := make(map[string]string) // field name → struct type name, for messages
+		for _, f := range p.Files {
+			collectGuards(f.AST, guards, owner)
+		}
+		if len(guards) == 0 {
+			return
+		}
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			ok := commentLines(p.Fset, f.AST, "unguarded-ok")
+			for _, decl := range f.AST.Decls {
+				fn, isFn := decl.(*ast.FuncDecl)
+				if !isFn || fn.Body == nil {
+					continue
+				}
+				checkGuardedAccesses(p, fn, guards, owner, ok)
+			}
+		}
+	},
+}
+
+// collectGuards scans struct declarations for `//guarded-by:<mutex>`
+// field annotations.
+func collectGuards(f *ast.File, guards, owner map[string]string) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, isType := n.(*ast.TypeSpec)
+		if !isType {
+			return true
+		}
+		st, isStruct := ts.Type.(*ast.StructType)
+		if !isStruct {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			mu := guardAnnotation(field)
+			if mu == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				guards[name.Name] = mu
+				owner[name.Name] = ts.Name.Name
+			}
+		}
+		return true
+	})
+}
+
+// guardAnnotation extracts the mutex name from a field's
+// `//guarded-by:mu` comment (doc comment or trailing line comment).
+func guardAnnotation(field *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, found := strings.CutPrefix(text, "guarded-by:"); found {
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					return fields[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// checkGuardedAccesses walks one function: every `base.field` selector
+// of an annotated field must be positionally preceded by a
+// `base.<mutex>.Lock()` or `.RLock()` call in the same function.
+func checkGuardedAccesses(p *Pass, fn *ast.FuncDecl, guards, owner map[string]string, ok map[int]bool) {
+	// Identifiers assigned from composite literals in this function:
+	// the value is still private to the constructor, so field accesses
+	// through them need no lock.
+	constructed := make(map[string]bool)
+	// lockPos holds the earliest "base.mutex" lock call position.
+	lockPos := make(map[string]token.Pos)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, isIdent := lhs.(*ast.Ident)
+				if !isIdent || i >= len(st.Rhs) {
+					continue
+				}
+				rhs := st.Rhs[i]
+				if un, isUnary := rhs.(*ast.UnaryExpr); isUnary && un.Op == token.AND {
+					rhs = un.X
+				}
+				if _, isLit := rhs.(*ast.CompositeLit); isLit {
+					constructed[id.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			// base.mutex.Lock() / base.mutex.RLock()
+			sel, isSel := st.Fun.(*ast.SelectorExpr)
+			if !isSel || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			muSel, isSel := sel.X.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			base, isIdent := muSel.X.(*ast.Ident)
+			if !isIdent {
+				return true
+			}
+			key := base.Name + "." + muSel.Sel.Name
+			if prev, seen := lockPos[key]; !seen || st.Pos() < prev {
+				lockPos[key] = st.Pos()
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, isSel := n.(*ast.SelectorExpr)
+		if !isSel {
+			return true
+		}
+		mu, guarded := guards[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		base, isIdent := sel.X.(*ast.Ident)
+		if !isIdent || constructed[base.Name] {
+			return true
+		}
+		if pos, locked := lockPos[base.Name+"."+mu]; locked && pos < sel.Pos() {
+			return true
+		}
+		line := p.Fset.Position(sel.Pos()).Line
+		if ok[line] || ok[line-1] {
+			return true
+		}
+		p.Reportf(sel.Pos(), "%s.%s is annotated guarded-by:%s but no %s.%s.Lock() precedes this access in %s; lock it or mark the line //unguarded-ok with the reason",
+			base.Name, sel.Sel.Name, mu, base.Name, mu, funcLabel(fn, owner[sel.Sel.Name]))
+		return true
+	})
+}
+
+// funcLabel names the function in diagnostics ("(*Server).runJob" or
+// "newID").
+func funcLabel(fn *ast.FuncDecl, structName string) string {
+	if fn.Recv != nil && structName != "" {
+		return "(*" + structName + ")." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

@@ -1,0 +1,203 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MapIterDet flags `range` loops over map-typed expressions whose body
+// feeds an order-sensitive sink: append, printing/writing, a channel
+// send, or a floating-point accumulation (`x += v` on a float
+// variable). Go randomizes map iteration order per range, so any of
+// these lets the order leak into campaign results or reports — exactly
+// the nondeterminism the fixed-seed contract forbids. Per-key updates
+// (`m[k] += v`, `m2[k] = v`) are order-insensitive and not flagged.
+//
+// The analyzer is syntactic: it recognizes maps by how they are
+// declared — function-local `make(map...)`, map composite literals,
+// parameters and var declarations with a map type, and selectors of
+// struct fields declared with a map type anywhere in the package.
+//
+// A range whose ordering is repaired afterwards (e.g. collected into a
+// slice and sorted before use) is suppressed with a //maporder-ok
+// comment on the range line or the line above it.
+var MapIterDet = &Analyzer{
+	Name: "mapiterdet",
+	Doc:  "flag map-order-dependent accumulation in range-over-map loops (suppress with //maporder-ok)",
+	Run: func(p *Pass) {
+		// Package-wide set of struct field names declared with a map
+		// type, so `x.Field` ranges are recognized across files.
+		mapFields := make(map[string]bool)
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if _, isMap := field.Type.(*ast.MapType); isMap {
+						for _, name := range field.Names {
+							mapFields[name.Name] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			ok := commentLines(p.Fset, f.AST, "maporder-ok")
+			for _, decl := range f.AST.Decls {
+				fn, isFn := decl.(*ast.FuncDecl)
+				if !isFn || fn.Body == nil {
+					continue
+				}
+				mapVars, floatVars := localVarKinds(fn)
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					rng, isRange := n.(*ast.RangeStmt)
+					if !isRange || !isMapExpr(rng.X, mapVars, mapFields) {
+						return true
+					}
+					line := p.Fset.Position(rng.Pos()).Line
+					if ok[line] || ok[line-1] {
+						return true
+					}
+					if sink := orderSink(rng.Body, floatVars); sink != "" {
+						p.Reportf(rng.Pos(), "range over map feeds %s: iteration order is randomized and leaks into the result; iterate sorted keys or mark the line //maporder-ok with the reason", sink)
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+// localVarKinds scans one function for identifiers declared as maps and
+// as floats (parameters, var declarations, and := forms whose shape
+// gives the type away syntactically).
+func localVarKinds(fn *ast.FuncDecl) (mapVars, floatVars map[string]bool) {
+	mapVars = make(map[string]bool)
+	floatVars = make(map[string]bool)
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if _, isMap := field.Type.(*ast.MapType); isMap {
+				for _, name := range field.Names {
+					mapVars[name.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE && st.Tok != token.ASSIGN {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, isIdent := lhs.(*ast.Ident)
+				if !isIdent || i >= len(st.Rhs) {
+					continue
+				}
+				switch rhs := st.Rhs[i].(type) {
+				case *ast.CallExpr:
+					if fun, ok := rhs.Fun.(*ast.Ident); ok && fun.Name == "make" && len(rhs.Args) > 0 {
+						if _, isMap := rhs.Args[0].(*ast.MapType); isMap {
+							mapVars[id.Name] = true
+						}
+					}
+				case *ast.CompositeLit:
+					if _, isMap := rhs.Type.(*ast.MapType); isMap {
+						mapVars[id.Name] = true
+					}
+				case *ast.BasicLit:
+					if rhs.Kind == token.FLOAT {
+						floatVars[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if t, isMap := st.Type.(*ast.MapType); isMap && t != nil {
+				for _, name := range st.Names {
+					mapVars[name.Name] = true
+				}
+			}
+			if t, isIdent := st.Type.(*ast.Ident); isIdent && (t.Name == "float64" || t.Name == "float32") {
+				for _, name := range st.Names {
+					floatVars[name.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return mapVars, floatVars
+}
+
+// isMapExpr reports whether the ranged expression is syntactically
+// known to be a map.
+func isMapExpr(x ast.Expr, mapVars, mapFields map[string]bool) bool {
+	switch e := x.(type) {
+	case *ast.Ident:
+		return mapVars[e.Name]
+	case *ast.SelectorExpr:
+		return mapFields[e.Sel.Name]
+	case *ast.CompositeLit:
+		_, isMap := e.Type.(*ast.MapType)
+		return isMap
+	case *ast.CallExpr:
+		if fun, ok := e.Fun.(*ast.Ident); ok && fun.Name == "make" && len(e.Args) > 0 {
+			_, isMap := e.Args[0].(*ast.MapType)
+			return isMap
+		}
+	case *ast.ParenExpr:
+		return isMapExpr(e.X, mapVars, mapFields)
+	}
+	return false
+}
+
+// sinkCallNames are function/method names whose calls commit values in
+// encounter order.
+var sinkCallNames = map[string]bool{
+	"append": true, "Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true, "Sprintf": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+// orderSink returns a description of the first order-sensitive sink in
+// the loop body, or "" when the body is order-insensitive.
+func orderSink(body *ast.BlockStmt, floatVars map[string]bool) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			switch fun := st.Fun.(type) {
+			case *ast.Ident:
+				if sinkCallNames[fun.Name] {
+					sink = fun.Name
+				}
+			case *ast.SelectorExpr:
+				if sinkCallNames[fun.Sel.Name] {
+					sink = fun.Sel.Name
+				}
+			}
+		case *ast.SendStmt:
+			sink = "a channel send"
+		case *ast.AssignStmt:
+			if st.Tok != token.ADD_ASSIGN && st.Tok != token.SUB_ASSIGN {
+				return true
+			}
+			// m[k] += v is per-key and order-insensitive; x += v on a
+			// float folds in iteration order and is not associative.
+			if id, isIdent := st.Lhs[0].(*ast.Ident); isIdent && floatVars[id.Name] {
+				sink = "a floating-point accumulation (non-associative across orders)"
+			}
+		}
+		return true
+	})
+	return sink
+}

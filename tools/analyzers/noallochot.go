@@ -86,4 +86,4 @@ var NoAllocHot = &Analyzer{
 }
 
 // All is the project analyzer set, in the order cmd/vetall runs them.
-var All = []*Analyzer{NoRandGlobal, NoWallClock, NoAllocHot}
+var All = []*Analyzer{NoRandGlobal, NoWallClock, NoAllocHot, MapIterDet, LockGuard, SeedFlow, ErrDrop}

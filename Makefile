@@ -45,20 +45,27 @@ fuzz-smoke:
 # bench regenerates the committed perf records: BENCH_runonce.json (the
 # per-run hot path: ns/op + allocs/op for RunOnce, GateInjection,
 # RTLCycle), BENCH_campaign.json (campaign throughput, scalar vs
-# lane-batched, with the speedup ratio), and BENCH_lanes.json (batched
-# throughput across the 64/256/512-lane resume widths).
+# lane-batched, with the speedup ratio), BENCH_lanes.json (batched
+# throughput across the 64/256/512-lane resume widths), and
+# BENCH_convergence.json (per-sampler samples-to-target-CI — statistical
+# efficiency rather than wall time).
 bench:
 	$(GO) run ./cmd/benchjson -suite runonce -out BENCH_runonce.json
 	$(GO) run ./cmd/benchjson -suite campaign -out BENCH_campaign.json
 	$(GO) run ./cmd/benchjson -suite lanes -out BENCH_lanes.json
+	$(GO) run ./cmd/benchjson -suite convergence -out BENCH_convergence.json
 
 # bench-smoke is the cheap CI guard: the hot-path benchmarks must still
 # compile and run (including every lane width), and fresh runonce and
 # lanes records must stay within tolerance of the committed ones
-# (generous 0.75 to absorb shared-runner noise).
+# (generous 0.75 to absorb shared-runner noise). The convergence record
+# counts samples, not time — fixed-seed deterministic — so it is gated
+# at a tight 0.05.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunOnce$$|BenchmarkGateInjection$$|BenchmarkCampaignBatched$$|BenchmarkCampaignLanes(64|256|512)$$' -benchtime=100x .
 	$(GO) run ./cmd/benchjson -suite runonce -out /tmp/bench_smoke.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.75 BENCH_runonce.json /tmp/bench_smoke.json
 	$(GO) run ./cmd/benchjson -suite lanes -out /tmp/bench_lanes_smoke.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.75 BENCH_lanes.json /tmp/bench_lanes_smoke.json
+	$(GO) run ./cmd/benchjson -suite convergence -out /tmp/bench_conv_smoke.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 0.05 BENCH_convergence.json /tmp/bench_conv_smoke.json

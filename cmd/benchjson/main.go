@@ -11,23 +11,31 @@
 //     across resume widths — scalar baseline, then 64, 256, and 512
 //     virtual lanes per pass. Fixed-seed results are bit-identical at
 //     every width; only the throughput differs.
+//   - BENCH_convergence.json (-suite convergence): statistical
+//     efficiency instead of wall time — for each sampler, the number of
+//     samples an adaptive campaign needs before its 95% CI half-width
+//     drops to the target (ns_per_op holds the sample count, so the
+//     -compare regression gate applies unchanged). The runs are
+//     deterministic (fixed seed), so the suite is gated at a tight
+//     tolerance.
 //
 // It uses the same setup as the root go-bench harness, so the numbers
 // are comparable to `go test -bench`.
 //
 // Regression gate: `benchjson -compare -tolerance 0.25 old.json
-// new.json` compares two records and exits non-zero when any benchmark
-// present in old got more than (1+tolerance)× slower in new, or is
-// missing from new — the CI bench-smoke step runs it against the
-// committed record.
+// new.json` compares two records, prints the per-metric percentage
+// deltas, and exits non-zero when any benchmark present in old got more
+// than (1+tolerance)× slower in new, or is missing from new — the CI
+// bench-smoke step runs it against the committed record.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-suite runonce|campaign|lanes] [-out FILE]
+//	go run ./cmd/benchjson [-suite runonce|campaign|lanes|convergence] [-out FILE]
 //	go run ./cmd/benchjson -compare [-tolerance T] old.json new.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,7 +47,9 @@ import (
 	"repro/internal/fault"
 	"repro/internal/montecarlo"
 	"repro/internal/netlist"
+	"repro/internal/sampling"
 	"repro/internal/soc"
+	"repro/internal/stats"
 	"repro/internal/timingsim"
 )
 
@@ -51,6 +61,11 @@ type benchResult struct {
 	N           int     `json:"n"`
 	// SamplesPerSec is reported by the campaign suite only.
 	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	// SSF, CIHalfWidth, and ESS are reported by the convergence suite
+	// only (ns_per_op holds the samples-to-target-CI count there).
+	SSF         float64 `json:"ssf,omitempty"`
+	CIHalfWidth float64 `json:"ci_half_width,omitempty"`
+	ESS         float64 `json:"ess,omitempty"`
 }
 
 type benchFile struct {
@@ -62,7 +77,7 @@ type benchFile struct {
 
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
-	suite := flag.String("suite", "runonce", "benchmark suite: runonce | campaign | lanes")
+	suite := flag.String("suite", "runonce", "benchmark suite: runonce | campaign | lanes | convergence")
 	compare := flag.Bool("compare", false, "compare two records (old.json new.json) instead of benchmarking")
 	tolerance := flag.Float64("tolerance", 0.25, "compare: allowed fractional ns/op growth before failing")
 	flag.Parse()
@@ -85,6 +100,8 @@ func main() {
 		results = campaignSuite()
 	case "lanes":
 		results = lanesSuite()
+	case "convergence":
+		results = convergenceSuite()
 	default:
 		fatal(fmt.Errorf("unknown suite %q", *suite))
 	}
@@ -258,6 +275,86 @@ func lanesSuite() []benchResult {
 	return results
 }
 
+// convergenceSuite measures statistical rather than computational
+// efficiency: for each sampler it runs an adaptive campaign until the
+// 95% CI half-width of the campaign's active estimator reaches
+// convTargetCI, and records how many samples that took. The stopping
+// bound EstimatorVariance/eps² ≤ risk with eps = convTargetCI and
+// risk = 1/z² is algebraically z·stderr ≤ convTargetCI. Everything is
+// fixed-seed deterministic, so the committed record is exactly
+// reproducible and gated tightly in CI.
+const (
+	convTargetCI   = 1e-4
+	convMaxSamples = 1 << 19
+)
+
+func convergenceSuite() []benchResult {
+	fw, ev := setup()
+	newIm := func() *sampling.Importance {
+		im, err := sampling.NewImportance(ev.Attack, fw.Char, fw.MPU.Netlist, fw.Place, sampling.DefaultAlpha, sampling.DefaultBeta)
+		if err != nil {
+			fatal(err)
+		}
+		return im
+	}
+	newStrat := func() sampling.Sampler {
+		sp, err := sampling.NewStratified(newIm())
+		if err != nil {
+			fatal(err)
+		}
+		return sp
+	}
+	cfgs := []struct {
+		name    string
+		sampler sampling.Sampler
+		adapt   bool
+		cv      bool
+	}{
+		{"ConvRandom", ev.RandomSampler(), false, false},
+		{"ConvImportance", newIm(), false, false},
+		{"ConvImportanceAdapt", newIm(), true, false},
+		{"ConvImportanceCV", newIm(), false, true},
+		{"ConvStratified", newStrat(), false, false},
+		{"ConvStratifiedNeyman", newStrat(), true, false},
+		{"ConvSobol", sampling.NewSobol(newIm()), false, false},
+	}
+	var results []benchResult
+	for _, cfg := range cfgs {
+		aopts := montecarlo.AdaptiveOptions{
+			Seed:           1,
+			Epsilon:        convTargetCI,
+			Risk:           1 / (stats.Z95 * stats.Z95),
+			MinSamples:     2000,
+			MaxSamples:     convMaxSamples,
+			CheckEvery:     1000,
+			Batch:          true,
+			AdaptProposal:  cfg.adapt,
+			ControlVariate: cfg.cv,
+		}
+		camp, err := ev.Engine.RunAdaptive(context.Background(), cfg.sampler, aopts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", cfg.name, err))
+		}
+		n := camp.Est.N()
+		res := benchResult{
+			Name:        cfg.name,
+			NsPerOp:     float64(n), // samples to target CI, not time
+			N:           n,
+			SSF:         camp.SSF(),
+			CIHalfWidth: camp.CIHalfWidth(),
+			ESS:         camp.ESS(),
+		}
+		capped := ""
+		if n >= convMaxSamples {
+			capped = "  (hit sample cap)"
+		}
+		fmt.Printf("%-22s %8d samples to CI±%g  ssf=%.4e  ci=%.2e  ess=%.0f%s\n",
+			cfg.name, n, convTargetCI, res.SSF, res.CIHalfWidth, res.ESS, capped)
+		results = append(results, res)
+	}
+	return results
+}
+
 func setup() (*core.Framework, *core.Evaluation) {
 	fw, err := core.Build(core.DefaultOptions())
 	if err != nil {
@@ -302,13 +399,13 @@ func compareFiles(oldPath, newPath string, tolerance float64) error {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-16s %12.0f -> %12.0f ns/op  (%.2fx, limit %.2fx)  %s\n",
-			old.Name, old.NsPerOp, cur.NsPerOp, ratio, 1+tolerance, status)
+		fmt.Printf("%-22s %12.0f -> %12.0f ns/op  (%+.1f%%, limit +%.0f%%)  %s\n",
+			old.Name, old.NsPerOp, cur.NsPerOp, (ratio-1)*100, tolerance*100, status)
 		delete(newBy, old.Name)
 	}
 	for _, r := range newRec.Benchmarks {
 		if _, stillNew := newBy[r.Name]; stillNew {
-			fmt.Printf("%-16s %12.0f ns/op  (new benchmark, not gated)\n", r.Name, r.NsPerOp)
+			fmt.Printf("%-22s %12.0f ns/op  (new benchmark, not gated)\n", r.Name, r.NsPerOp)
 		}
 	}
 	if failed {

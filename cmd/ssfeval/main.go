@@ -30,7 +30,7 @@ import (
 
 func main() {
 	benchName := flag.String("bench", "write", "benchmark: write | read")
-	strategy := flag.String("sampler", "importance", "sampler: random | cone | importance")
+	strategy := flag.String("sampler", "importance", "sampler: random | cone | importance | stratified | sobol")
 	samples := flag.Int("samples", 20000, "number of Monte Carlo samples (fixed-size campaigns)")
 	seed := flag.Int64("seed", 1, "campaign seed")
 	tRange := flag.Int("trange", 50, "temporal accuracy range (cycles)")
@@ -41,6 +41,8 @@ func main() {
 	beta := flag.Float64("beta", sampling.DefaultBeta, "importance-sampling beta")
 	parallel := flag.Int("parallel", 1, "number of worker engines (campaign shards)")
 	adaptive := flag.Bool("adaptive", false, "stop on the weak-LLN convergence bound instead of a fixed sample count")
+	adaptProp := flag.Bool("adapt-proposal", false, "adaptive: re-tune the proposal between rounds (importance/stratified samplers)")
+	ctrlVar := flag.Bool("cv", false, "use the analytical control variate (random/importance/sobol samplers, gate/register modes)")
 	eps := flag.Float64("eps", 0.005, "adaptive: absolute accuracy target epsilon")
 	risk := flag.Float64("risk", 0.05, "adaptive: acceptable risk of an eps-deviation")
 	maxSamples := flag.Int("max-samples", 1<<20, "adaptive: hard cap on total samples")
@@ -90,6 +92,16 @@ func main() {
 		sp, err = ev.ConeSampler()
 	case "importance":
 		sp, err = ev.ImportanceSamplerAB(*alpha, *beta)
+	case "stratified", "sobol":
+		var im *sampling.Importance
+		im, err = sampling.NewImportance(ev.Attack, fw.Char, fw.MPU.Netlist, fw.Place, *alpha, *beta)
+		if err == nil {
+			if *strategy == "stratified" {
+				sp, err = sampling.NewStratified(im)
+			} else {
+				sp = sampling.NewSobol(im)
+			}
+		}
 	default:
 		err = fmt.Errorf("unknown sampler %q", *strategy)
 	}
@@ -107,7 +119,7 @@ func main() {
 		}
 	}
 
-	copts := montecarlo.CampaignOptions{Samples: *samples, Seed: *seed, Progress: prog, Batch: *batch, Lanes: *lanes}
+	copts := montecarlo.CampaignOptions{Samples: *samples, Seed: *seed, Progress: prog, Batch: *batch, Lanes: *lanes, ControlVariate: *ctrlVar}
 	var camp *montecarlo.Campaign
 	workers := 1
 	if *cpuProfile != "" {
@@ -141,6 +153,8 @@ func main() {
 			aopts.Progress = prog
 			aopts.Batch = *batch
 			aopts.Lanes = *lanes
+			aopts.AdaptProposal = *adaptProp
+			aopts.ControlVariate = *ctrlVar
 			camp, err = pool.RunAdaptive(ctx, sp, aopts)
 		} else if pool.Size() > 1 {
 			camp, err = pool.Run(ctx, sp, copts)
@@ -148,8 +162,8 @@ func main() {
 			camp, err = ev.Engine.RunCampaign(ctx, sp, copts)
 		}
 	case "glitch":
-		if *parallel > 1 || *adaptive || *batch {
-			fatal(fmt.Errorf("glitch campaigns run sequentially, scalar, with a fixed sample count"))
+		if *parallel > 1 || *adaptive || *batch || *ctrlVar {
+			fatal(fmt.Errorf("glitch campaigns run sequentially, scalar, with a fixed sample count and no control variate"))
 		}
 		tech := fault.DefaultClockGlitch()
 		tech.Depth = *glitchDepth
@@ -183,8 +197,12 @@ func main() {
 	t := report.NewTable(title, "metric", "value")
 	t.Row("SSF", camp.SSF())
 	t.Row("std. error", camp.Est.StdErr())
+	t.Row("95% CI half-width", camp.CIHalfWidth())
 	t.Row("sample variance", camp.Variance())
 	t.Row("samples", runs)
+	if ess := camp.ESS(); ess > 0 {
+		t.Row("effective sample size", fmt.Sprintf("%.0f", ess))
+	}
 	t.Row("worker engines", workers)
 	t.Row("successful attacks", camp.Successes)
 	t.Row("masked / mem-only / both", fmt.Sprintf("%d / %d / %d",
@@ -193,6 +211,21 @@ func main() {
 		camp.PathCounts[0], camp.PathCounts[1], camp.PathCounts[2], camp.PathCounts[3]))
 	t.Row("RTL cycles simulated", camp.RTLCycles)
 	t.Row("throughput", fmt.Sprintf("%.0f runs/s", float64(runs)/elapsed.Seconds()))
+	if camp.Strata != nil {
+		hits := ""
+		for k := 0; k < camp.Strata.K(); k++ {
+			if h := camp.Strata.Hits(k); h > 0 {
+				if hits != "" {
+					hits += "  "
+				}
+				hits += fmt.Sprintf("t=%d:%d", k, h)
+			}
+		}
+		if hits == "" {
+			hits = "(none)"
+		}
+		t.Row("per-stratum hits", hits)
+	}
 	t.Render(os.Stdout)
 
 	if *memProfile != "" {

@@ -3,6 +3,7 @@ package montecarlo
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -52,6 +53,15 @@ type CampaignOptions struct {
 	// purely a throughput knob: fixed-seed results are bit-identical
 	// at every lane count.
 	Lanes int
+	// ControlVariate subtracts the analytical memory-type predictor
+	// from the estimate: the campaign accumulates the exactly-known
+	// control phi(t, center) alongside each outcome and reports the
+	// regression-adjusted estimate (optimal coefficient estimated
+	// online). Requires an engine with Char and Analytical, and a
+	// sampler whose proposal covers the full nominal support (random,
+	// importance, sobol) — restricted-support samplers would bias the
+	// control's observed mean.
+	ControlVariate bool
 }
 
 // Campaign is the aggregate result of a sampling campaign.
@@ -81,14 +91,105 @@ type Campaign struct {
 	// PatternCounts histograms the latched patterns by byte spread
 	// (Fig 7(a)) when tracking is on.
 	PatternCounts map[timingsim.PatternClass]int
+	// Strata is the per-stratum estimator, tracked when the sampler
+	// stratifies the attack space (sampling.Stratal); nil otherwise.
+	// When present, SSF reads the stratified estimate instead of the
+	// plain weighted mean.
+	Strata *stats.Stratified
+	// Weights accumulates the likelihood-ratio moments behind the
+	// effective sample size (ESS).
+	Weights stats.WeightMoments
+	// TDraws and THits tally draws and raw successes per timing
+	// distance (index t); adaptive proposal re-weighting reads them.
+	// The slices grow lazily to the largest observed t+1.
+	TDraws, THits []int
+	// CV is the control-variate regression state when
+	// Options.ControlVariate is on (nil otherwise); CVMean is the
+	// exact nominal-distribution mean of the control, computed by
+	// enumeration over the discrete (t, center) space.
+	CV     *stats.BivariateMoments
+	CVMean float64
 }
 
-// SSF returns the campaign's System Security Factor estimate.
-func (c *Campaign) SSF() float64 { return c.Est.Estimate() }
+// SSF returns the campaign's System Security Factor estimate: the
+// stratified estimate when per-stratum state is tracked, the
+// control-variate-adjusted estimate when a control is attached, and the
+// plain weighted mean otherwise.
+func (c *Campaign) SSF() float64 {
+	switch {
+	case c.Strata != nil:
+		return c.Strata.Estimate()
+	case c.CV != nil && c.CV.N() > 1:
+		return c.CV.Adjusted(c.CVMean)
+	default:
+		return c.Est.Estimate()
+	}
+}
 
-// Variance returns the estimator's sample variance — the quantity the
-// paper's Fig 9(b) compares across strategies.
+// Variance returns the per-term sample variance of the plain weighted
+// estimator — the quantity the paper's Fig 9(b) compares across
+// strategies. See EstimatorVariance for the variance of the estimate
+// itself under the campaign's active estimator.
 func (c *Campaign) Variance() float64 { return c.Est.Variance() }
+
+// EstimatorVariance returns the variance of the campaign's SSF
+// estimate under whichever estimator SSF uses: the exact stratified
+// estimator variance, the regression-adjusted variance over n, or the
+// plain term variance over n. An empty campaign reports +Inf.
+func (c *Campaign) EstimatorVariance() float64 {
+	switch {
+	case c.Strata != nil:
+		return c.Strata.EstVariance()
+	case c.CV != nil && c.CV.N() > 1:
+		return c.CV.AdjustedVariance() / float64(c.CV.N())
+	default:
+		n := c.Est.N()
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return c.Est.Variance() / float64(n)
+	}
+}
+
+// CIHalfWidth returns the 95% confidence-interval half-width of the
+// SSF estimate. Under the Sobol sampler the draws are not independent
+// and the width is an approximation (see EXPERIMENTS.md).
+func (c *Campaign) CIHalfWidth() float64 {
+	v := c.EstimatorVariance()
+	if math.IsInf(v, 1) {
+		return math.Inf(1)
+	}
+	return stats.Z95 * math.Sqrt(v)
+}
+
+// ESS returns Kish's effective sample size of the campaign's
+// likelihood-ratio weights.
+func (c *Campaign) ESS() float64 { return c.Weights.ESS() }
+
+// llnBound is the generalized Chebyshev stopping bound
+// Pr[|est − SSF| ≥ eps] ≤ Var[est]/eps², clamped to 1. For campaigns
+// without strata or control it equals Est.LLNBound exactly.
+func (c *Campaign) llnBound(eps float64) float64 {
+	if eps <= 0 || c.Est.N() == 0 {
+		return 1
+	}
+	b := c.EstimatorVariance() / (eps * eps)
+	if b > 1 || math.IsInf(b, 1) {
+		return 1
+	}
+	return b
+}
+
+// tally grows a per-t tally slice to cover index t and increments it.
+func tally(s *[]int, t int) {
+	if t < 0 {
+		return
+	}
+	for len(*s) <= t {
+		*s = append(*s, 0)
+	}
+	(*s)[t]++
+}
 
 // RunCampaign draws samples from the sampler and evaluates each with
 // the engine, accumulating the weighted SSF estimate. RunGolden must
@@ -113,11 +214,43 @@ func (e *Engine) runCampaign(ctx context.Context, sampler sampling.Sampler, opts
 	if opts.Samples < 1 {
 		return nil, fmt.Errorf("montecarlo: %d samples", opts.Samples)
 	}
+	// Stateful samplers (low-discrepancy sequences, per-stratum
+	// substreams) are never drawn from directly: each campaign forks a
+	// private stream keyed by its seed, so the per-(round, shard) seed
+	// derivation of the parallel runners makes every stream — and every
+	// resumed replay of it — deterministic.
+	if f, ok := sampler.(sampling.Forker); ok {
+		sampler = f.Fork(opts.Seed)
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	c := &Campaign{
 		SamplerName:     sampler.Name(),
 		Options:         opts,
 		RegContribution: make(map[netlist.NodeID]float64),
+	}
+	if st, ok := sampler.(sampling.Stratal); ok {
+		probs := make([]float64, st.NumStrata())
+		for k := range probs {
+			probs[k] = st.StratumProb(k)
+		}
+		strata, err := stats.NewStratified(probs)
+		if err != nil {
+			return nil, fmt.Errorf("montecarlo: stratified sampler: %w", err)
+		}
+		c.Strata = strata
+	}
+	if opts.ControlVariate {
+		cv, err := e.controlVariate()
+		if err != nil {
+			return nil, err
+		}
+		switch sampler.Name() {
+		case "random", "importance", "sobol":
+		default:
+			return nil, fmt.Errorf("montecarlo: control variate requires a full-support sampler (random, importance, sobol), got %q", sampler.Name())
+		}
+		c.CV = &stats.BivariateMoments{}
+		c.CVMean = cv.mean
 	}
 	if opts.TrackConvergence {
 		c.Convergence = make([]float64, 0, opts.Samples)
@@ -147,6 +280,7 @@ func (e *Engine) runSamples(ctx context.Context, c *Campaign, rng *rand.Rand, sa
 		}
 		layout = timingsim.NewRegisterLayout(e.SoC.MPU.Groups)
 	}
+	st, _ := sampler.(sampling.Stratal)
 	done := ctx.Done()
 	for i := 0; i < opts.Samples; i++ {
 		select {
@@ -157,7 +291,7 @@ func (e *Engine) runSamples(ctx context.Context, c *Campaign, rng *rand.Rand, sa
 		}
 		sample, weight := sampler.Draw(rng)
 		res := e.RunOnce(rng, sample, opts.Mode)
-		e.accumulate(c, &opts, layout, sample, weight, &res)
+		e.accumulate(c, &opts, layout, st, sample, weight, &res)
 		agg.observe(shard, c, i+1 == opts.Samples)
 	}
 	return nil
@@ -166,8 +300,9 @@ func (e *Engine) runSamples(ctx context.Context, c *Campaign, rng *rand.Rand, sa
 // accumulate folds one evaluated sample into the campaign aggregate.
 // The fold order is the draw order — the weighted estimator is a
 // floating-point sum, so both execution paths commit results in exactly
-// this order to stay bit-identical.
-func (e *Engine) accumulate(c *Campaign, opts *CampaignOptions, layout *timingsim.RegisterLayout, sample fault.Sample, weight float64, res *RunResult) {
+// this order to stay bit-identical. st is the sampler's Stratal view
+// when the campaign tracks per-stratum state (c.Strata non-nil).
+func (e *Engine) accumulate(c *Campaign, opts *CampaignOptions, layout *timingsim.RegisterLayout, st sampling.Stratal, sample fault.Sample, weight float64, res *RunResult) {
 	x := 0.0
 	if res.Success {
 		x = 1.0
@@ -177,11 +312,29 @@ func (e *Engine) accumulate(c *Campaign, opts *CampaignOptions, layout *timingsi
 		}
 	}
 	c.Est.Add(x, weight)
+	c.Weights.Add(weight)
+	tally(&c.TDraws, sample.T)
+	if res.Success {
+		tally(&c.THits, sample.T)
+	}
+	if c.Strata != nil && st != nil {
+		c.Strata.Add(st.StratumOf(sample), x, st.ConditionalWeight(sample, weight), res.Success)
+	}
+	if c.CV != nil {
+		c.CV.Add(x*weight, weight*e.cvTab.phi(sample))
+	}
 	c.ClassCounts[res.Class]++
 	c.PathCounts[res.Path]++
 	c.RTLCycles += res.ResumeCycles
 	if opts.TrackConvergence {
-		c.Convergence = append(c.Convergence, c.Est.Estimate())
+		// Legacy samplers keep the plain weighted-mean trace (whose
+		// chunked form MergeSequential can replay); stratified and
+		// control-variate campaigns trace their own estimator.
+		if c.Strata != nil || c.CV != nil {
+			c.Convergence = append(c.Convergence, c.SSF())
+		} else {
+			c.Convergence = append(c.Convergence, c.Est.Estimate())
+		}
 	}
 	if opts.TrackPatterns && len(res.Flipped) > 0 {
 		c.Patterns[timingsim.PatternKey(res.Flipped)] = true
@@ -230,6 +383,7 @@ func (e *Engine) runSamplesBatched(ctx context.Context, c *Campaign, rng *rand.R
 	weights := make([]float64, window)
 	results := make([]RunResult, window)
 	pend := make([]pendingResume, 0, window)
+	st, _ := sampler.(sampling.Stratal)
 	done := ctx.Done()
 	evaluated := 0
 	for evaluated < opts.Samples {
@@ -259,7 +413,7 @@ func (e *Engine) runSamplesBatched(ctx context.Context, c *Campaign, rng *rand.R
 		}
 		e.flushResumes(pend, results, groups)
 		for j := 0; j < drawn; j++ {
-			e.accumulate(c, &opts, layout, samples[j], weights[j], &results[j])
+			e.accumulate(c, &opts, layout, st, samples[j], weights[j], &results[j])
 			evaluated++
 			agg.observe(shard, c, evaluated == opts.Samples)
 		}

@@ -1,0 +1,132 @@
+package montecarlo
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// cvTable is the campaign control variate built from the analytical
+// memory-type evaluator: phi(t, center) = 1 iff some register
+// combinationally reachable from the strike center's spot (i) flips to
+// an attack-winning configuration under the closed-form coarse policy
+// check, and (ii) retains errors for at least t cycles per the
+// pre-characterized lifetime. phi is a cheap structural predictor of
+// success that is exactly integrable under the nominal distribution f —
+// the (t, center) space is discrete and finite — which is what a
+// control variate needs: a correlated quantity with a known mean.
+//
+// For a fixed center the predicate is monotone in t (lifetime >= t), so
+// the whole table reduces to one number per candidate: the maximum
+// lifetime over its reachable winning registers.
+type cvTable struct {
+	attack *fault.Attack
+	// maxL[i] is that maximum for candidate i; -1 when no winning
+	// register is reachable (phi == 0 at every t).
+	maxL []float64
+	// mean is E_f[phi], enumerated exactly over TRange x candidates.
+	mean float64
+}
+
+// phi evaluates the control at a drawn sample.
+func (tb *cvTable) phi(s fault.Sample) float64 {
+	i, ok := tb.attack.CenterIndex(s.Center)
+	if !ok || s.T < 0 {
+		return 0
+	}
+	if float64(s.T) <= tb.maxL[i] {
+		return 1
+	}
+	return 0
+}
+
+// controlVariate builds (once per engine, then cached) the control
+// table. It needs the pre-characterization for lifetimes, the
+// analytical evaluator for the coarse single-bit outcomes, and a golden
+// run for the base policy. The construction iterates slices in index
+// order only, so the table — and through it every campaign using it —
+// is deterministic.
+func (e *Engine) controlVariate() (*cvTable, error) {
+	if e.cvTab != nil {
+		return e.cvTab, nil
+	}
+	if e.Char == nil || e.Analytical == nil {
+		return nil, fmt.Errorf("montecarlo: control variate needs Char and Analytical")
+	}
+	if e.golden == nil {
+		return nil, fmt.Errorf("montecarlo: control variate before RunGolden")
+	}
+	nl := e.SoC.MPU.Netlist
+	// Single-bit coarse outcomes: which registers, flipped alone, win
+	// the attack under the windowless policy check.
+	winning := make([]bool, nl.NumNodes())
+	for _, r := range nl.Regs() {
+		fl := []netlist.NodeID{r}
+		if e.Analytical.Covers(fl) && e.Analytical.OutcomeCoarse(e.golden.Policy, e.SoC.Prog, fl) {
+			winning[r] = true
+		}
+	}
+	// Per-candidate reach: BFS from the candidate's radiation spot
+	// through combinational fanout up to the first register boundary.
+	fo := nl.Fanouts()
+	maxRadius := e.Attack.Technique.Radius + e.Attack.Technique.RadiusJitter
+	maxL := make([]float64, len(e.Attack.Candidates))
+	seen := make([]bool, nl.NumNodes())
+	stack := make([]netlist.NodeID, 0, 64)
+	for i, cand := range e.Attack.Candidates {
+		maxL[i] = -1
+		for j := range seen {
+			seen[j] = false
+		}
+		stack = stack[:0]
+		if e.Place != nil {
+			for _, g := range e.Place.CombWithinRadius(cand, maxRadius) {
+				if !seen[g] {
+					seen[g] = true
+					stack = append(stack, g)
+				}
+			}
+		}
+		if !seen[cand] {
+			seen[cand] = true
+			stack = append(stack, cand)
+		}
+		for len(stack) > 0 {
+			g := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range fo[g] {
+				if seen[h] {
+					continue
+				}
+				seen[h] = true
+				switch node := nl.Node(h); {
+				case node.Type == netlist.DFF:
+					if winning[h] {
+						if l := e.Char.Lifetime(h); l > maxL[i] {
+							maxL[i] = l
+						}
+					}
+				case node.Type.IsCombinational():
+					stack = append(stack, h)
+				}
+			}
+		}
+	}
+	// E_f[phi] by exact enumeration: f factorizes as f_T(t) * f_P(c)
+	// and phi is monotone in t, so per candidate the t-sum is a prefix
+	// of f_T. Folded in candidate order, then t order — deterministic.
+	mean := 0.0
+	for i, cand := range e.Attack.Candidates {
+		if maxL[i] < 0 {
+			continue
+		}
+		pT := 0.0
+		for t := 0; t < e.Attack.TRange && float64(t) <= maxL[i]; t++ {
+			pT += e.Attack.TProb(t)
+		}
+		mean += e.Attack.CenterProb(cand) * pT
+	}
+	e.cvTab = &cvTable{attack: e.Attack, maxL: maxL, mean: mean}
+	return e.cvTab, nil
+}

@@ -35,9 +35,33 @@ func (c *Campaign) Merge(o *Campaign) error {
 	if c.Options.Mode != o.Options.Mode {
 		return fmt.Errorf("montecarlo: merge across attack modes (%v into %v)", o.Options.Mode, c.Options.Mode)
 	}
+	// All validations precede the first mutation so the receiver is
+	// unchanged on any error path.
+	if (c.Strata == nil) != (o.Strata == nil) {
+		return fmt.Errorf("montecarlo: merge of stratified and unstratified campaigns")
+	}
+	if (c.CV == nil) != (o.CV == nil) {
+		return fmt.Errorf("montecarlo: merge of control-variate and plain campaigns")
+	}
+	if c.CV != nil && c.CVMean != o.CVMean {
+		return fmt.Errorf("montecarlo: merge across control means (%v vs %v)", c.CVMean, o.CVMean)
+	}
+	if c.Strata != nil {
+		// Self-validating: errors (mismatched stratum layout) leave
+		// both sides untouched.
+		if err := c.Strata.Merge(o.Strata); err != nil {
+			return fmt.Errorf("montecarlo: %w", err)
+		}
+	}
 	if len(o.RegContribution) > 0 && c.RegContribution == nil {
 		c.RegContribution = make(map[netlist.NodeID]float64, len(o.RegContribution))
 	}
+	if c.CV != nil {
+		c.CV.Merge(*o.CV)
+	}
+	c.Weights.Merge(o.Weights)
+	mergeTally(&c.TDraws, o.TDraws)
+	mergeTally(&c.THits, o.THits)
 	c.Est.Merge(o.Est)
 	c.Successes += o.Successes
 	c.RTLCycles += o.RTLCycles
@@ -80,13 +104,18 @@ func (c *Campaign) Merge(o *Campaign) error {
 // concatenated sample order is the campaign's real order. The appended
 // entries are recomputed as running estimates of the combined campaign
 // — o's own trace is relative to its chunk only. When either side did
-// not track convergence the trace is dropped, as in Merge.
+// not track convergence the trace is dropped, as in Merge. The replay
+// reconstructs terms of the plain weighted mean, so campaigns carrying
+// per-stratum or control-variate state (whose traces follow their own
+// estimator) also drop the trace.
 //
 // MergeSequential errors under the same conditions as Merge (sampler
 // or attack-mode mismatch), leaving the receiver unchanged.
 func (c *Campaign) MergeSequential(o *Campaign) error {
 	var conv []float64
-	if o != nil && c.Convergence != nil && o.Convergence != nil {
+	replayable := c.Strata == nil && c.CV == nil &&
+		(o == nil || (o.Strata == nil && o.CV == nil))
+	if o != nil && replayable && c.Convergence != nil && o.Convergence != nil {
 		// The k-th chunk entry m_k is the running mean after k terms,
 		// so each weighted term is recoverable as
 		// m_k·k − m_{k−1}·(k−1); replaying the terms on a copy of the
@@ -106,6 +135,16 @@ func (c *Campaign) MergeSequential(o *Campaign) error {
 	}
 	c.Convergence = conv
 	return nil
+}
+
+// mergeTally adds per-t tallies element-wise, growing dst as needed.
+func mergeTally(dst *[]int, src []int) {
+	for len(*dst) < len(src) {
+		*dst = append(*dst, 0)
+	}
+	for i, v := range src {
+		(*dst)[i] += v
+	}
 }
 
 // validateEngines checks an engine pool for parallel use.
@@ -294,6 +333,10 @@ type AdaptiveOptions struct {
 	Batch       bool
 	BatchWindow int
 	Lanes       int
+	// ControlVariate as in CampaignOptions: every chunk/shard pairs the
+	// outcome with the analytical control and the merged campaign
+	// reports the control-variate-adjusted estimate.
+	ControlVariate bool
 	// Resume continues a previously checkpointed RunAdaptiveParallel
 	// campaign: the accumulated total restored from a Checkpoint
 	// snapshot of the same options. ResumeRound is the number of rounds
@@ -305,6 +348,18 @@ type AdaptiveOptions struct {
 	// RunAdaptive ignores both fields.
 	Resume      *Campaign
 	ResumeRound int64
+	// AdaptProposal re-tunes the sampler between rounds when it
+	// implements sampling.Adaptive: the Importance sampler re-tilts
+	// its timing distribution toward the observed per-stratum hit
+	// rates, and the Stratified sampler switches to Neyman allocation
+	// from the per-stratum variances. The re-tuned proposal is a pure
+	// function of the accumulated campaign state, so checkpointed runs
+	// resume bit-identically; weight-floor clamping (AdaptFloor, as a
+	// fraction of the largest re-tuned weight; 0 means
+	// sampling.DefaultAdaptFloor) keeps every stratum explored and the
+	// estimate unbiased. Non-adaptive samplers are unaffected.
+	AdaptProposal bool
+	AdaptFloor    float64
 	// Checkpoint, when non-nil, is invoked by RunAdaptiveParallel after
 	// every merged round with the number of completed rounds and a deep
 	// copy of the accumulated campaign (safe to retain and serialize;
@@ -346,11 +401,33 @@ func (o *AdaptiveOptions) sanitize() error {
 }
 
 // converged reports whether the accumulated campaign meets the
-// stopping criterion.
+// stopping criterion, evaluated on the campaign's active estimator:
+// for plain campaigns the bound is Est.LLNBound exactly (variance /
+// (N·eps²)); stratified and control-variate campaigns use their own
+// estimator variance, which is what converges faster.
 func (o *AdaptiveOptions) converged(total *Campaign) bool {
 	return total != nil &&
 		total.Est.N() >= o.MinSamples &&
-		total.Est.LLNBound(o.Epsilon) <= o.Risk
+		total.llnBound(o.Epsilon) <= o.Risk
+}
+
+// adapted re-tunes the sampler from the accumulated campaign between
+// rounds (no-op unless AdaptProposal is set and the sampler supports
+// it). Determinism: the result depends only on (sampler, total).
+func (o *AdaptiveOptions) adapted(s sampling.Sampler, total *Campaign) (sampling.Sampler, error) {
+	if !o.AdaptProposal || total == nil {
+		return s, nil
+	}
+	ad, ok := s.(sampling.Adaptive)
+	if !ok {
+		return s, nil
+	}
+	return ad.Adapt(sampling.AdaptState{
+		Draws:  total.TDraws,
+		Hits:   total.THits,
+		Strata: total.Strata,
+		Floor:  o.AdaptFloor,
+	})
 }
 
 // finish stamps the synthesized options of an adaptive campaign.
@@ -377,6 +454,7 @@ func (e *Engine) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts
 	}
 	agg := newProgressAgg(opts.Progress, opts.ProgressEvery, 0, 1)
 	var total *Campaign
+	cur := sampler
 	chunkIdx := int64(0)
 	for {
 		remaining := opts.MaxSamples
@@ -390,7 +468,7 @@ func (e *Engine) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts
 		if chunkN > remaining {
 			chunkN = remaining
 		}
-		chunk, err := e.runCampaign(ctx, sampler, CampaignOptions{
+		chunk, err := e.runCampaign(ctx, cur, CampaignOptions{
 			Samples:          chunkN,
 			Mode:             opts.Mode,
 			Seed:             opts.Seed*999983 + chunkIdx,
@@ -399,6 +477,7 @@ func (e *Engine) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts
 			Batch:            opts.Batch,
 			BatchWindow:      opts.BatchWindow,
 			Lanes:            opts.Lanes,
+			ControlVariate:   opts.ControlVariate,
 		}, agg, 0)
 		chunkIdx++
 		if total == nil {
@@ -415,6 +494,11 @@ func (e *Engine) RunAdaptive(ctx context.Context, sampler sampling.Sampler, opts
 		if opts.converged(total) {
 			break
 		}
+		next, aerr := opts.adapted(cur, total)
+		if aerr != nil {
+			return opts.finish(total), aerr
+		}
+		cur = next
 	}
 	return opts.finish(total), nil
 }
@@ -444,21 +528,33 @@ func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler samplin
 	nE := len(engines)
 	agg := newProgressAgg(opts.Progress, opts.ProgressEvery, 0, nE)
 	copts := CampaignOptions{
-		Mode:          opts.Mode,
-		Seed:          opts.Seed,
-		TrackPatterns: opts.TrackPatterns,
-		Batch:         opts.Batch,
-		BatchWindow:   opts.BatchWindow,
-		Lanes:         opts.Lanes,
+		Mode:           opts.Mode,
+		Seed:           opts.Seed,
+		TrackPatterns:  opts.TrackPatterns,
+		Batch:          opts.Batch,
+		BatchWindow:    opts.BatchWindow,
+		Lanes:          opts.Lanes,
+		ControlVariate: opts.ControlVariate,
 	}
 	var total *Campaign
 	var conv []float64
+	cur := sampler
 	startRound := int64(0)
 	if opts.Resume != nil {
 		total = opts.Resume.Clone()
 		conv = total.Convergence
 		total.Convergence = nil
 		startRound = opts.ResumeRound
+		// Re-derive the proposal the uninterrupted run would be using at
+		// this round. Adapt is a pure function of the accumulated state
+		// (not of the receiver chain), so one application to the original
+		// sampler lands on the same proposal the round-by-round
+		// adaptations would have produced.
+		next, aerr := opts.adapted(cur, total)
+		if aerr != nil {
+			return opts.finish(total), aerr
+		}
+		cur = next
 	}
 	// finish restores the per-round convergence trace on every return
 	// path that carries a campaign (normal stop, cancellation, hard
@@ -483,7 +579,7 @@ func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler samplin
 			roundN = remaining
 		}
 		shardOpts := shardCampaignOptions(nE, roundN, copts, round)
-		results, errs := runShards(ctx, engines, sampler, shardOpts, agg)
+		results, errs := runShards(ctx, engines, cur, shardOpts, agg)
 		roundTotal, err := mergeShards(ctx, results, errs)
 		if roundTotal != nil {
 			if total == nil {
@@ -492,7 +588,7 @@ func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler samplin
 				return finish(), merr
 			}
 			if opts.TrackConvergence {
-				conv = append(conv, total.Est.Estimate())
+				conv = append(conv, total.SSF())
 			}
 		}
 		if err != nil {
@@ -511,6 +607,11 @@ func RunAdaptiveParallel(ctx context.Context, engines []*Engine, sampler samplin
 		if opts.converged(total) {
 			break
 		}
+		next, aerr := opts.adapted(cur, total)
+		if aerr != nil {
+			return finish(), aerr
+		}
+		cur = next
 	}
 	return finish(), nil
 }

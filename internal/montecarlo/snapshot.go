@@ -21,6 +21,19 @@ func (c *Campaign) Clone() *Campaign {
 	if c.Convergence != nil {
 		o.Convergence = append([]float64(nil), c.Convergence...)
 	}
+	if c.Strata != nil {
+		o.Strata = c.Strata.Clone()
+	}
+	if c.TDraws != nil {
+		o.TDraws = append([]int(nil), c.TDraws...)
+	}
+	if c.THits != nil {
+		o.THits = append([]int(nil), c.THits...)
+	}
+	if c.CV != nil {
+		cv := *c.CV
+		o.CV = &cv
+	}
 	if c.RegContribution != nil {
 		o.RegContribution = make(map[netlist.NodeID]float64, len(c.RegContribution))
 		for k, v := range c.RegContribution {
@@ -59,6 +72,13 @@ type CampaignSnapshot struct {
 	BatchWindow int    `json:"batch_window,omitempty"`
 
 	Est         stats.WelfordState             `json:"est"`
+	Weights     stats.WeightMomentsState       `json:"weights"`
+	Strata      *stats.StratifiedState         `json:"strata,omitempty"`
+	TDraws      []int                          `json:"t_draws,omitempty"`
+	THits       []int                          `json:"t_hits,omitempty"`
+	CV          *stats.BivariateState          `json:"cv,omitempty"`
+	CVMean      float64                        `json:"cv_mean,omitempty"`
+	ControlVar  bool                           `json:"control_variate,omitempty"`
 	Convergence []float64                      `json:"convergence,omitempty"`
 	ClassCounts [3]int                         `json:"class_counts"`
 	PathCounts  [4]int                         `json:"path_counts"`
@@ -84,10 +104,27 @@ func (c *Campaign) Snapshot() *CampaignSnapshot {
 		Batch:       c.Options.Batch,
 		BatchWindow: c.Options.BatchWindow,
 		Est:         c.Est.State(),
+		Weights:     c.Weights.State(),
+		CVMean:      c.CVMean,
+		ControlVar:  c.Options.ControlVariate,
 		ClassCounts: c.ClassCounts,
 		PathCounts:  c.PathCounts,
 		Successes:   c.Successes,
 		RTLCycles:   c.RTLCycles,
+	}
+	if c.Strata != nil {
+		st := c.Strata.State()
+		s.Strata = &st
+	}
+	if len(c.TDraws) > 0 {
+		s.TDraws = append([]int(nil), c.TDraws...)
+	}
+	if len(c.THits) > 0 {
+		s.THits = append([]int(nil), c.THits...)
+	}
+	if c.CV != nil {
+		cv := c.CV.State()
+		s.CV = &cv
 	}
 	if c.Convergence != nil {
 		s.Convergence = append([]float64(nil), c.Convergence...)
@@ -124,18 +161,37 @@ func (s *CampaignSnapshot) Campaign() *Campaign {
 	c := &Campaign{
 		SamplerName: s.SamplerName,
 		Options: CampaignOptions{
-			Samples:     s.Samples,
-			Mode:        s.Mode,
-			Seed:        s.Seed,
-			Batch:       s.Batch,
-			BatchWindow: s.BatchWindow,
+			Samples:        s.Samples,
+			Mode:           s.Mode,
+			Seed:           s.Seed,
+			Batch:          s.Batch,
+			BatchWindow:    s.BatchWindow,
+			ControlVariate: s.ControlVar,
 		},
 		Est:             stats.FromWeightedState(s.Est),
+		Weights:         stats.FromWeightMomentsState(s.Weights),
+		CVMean:          s.CVMean,
 		ClassCounts:     s.ClassCounts,
 		PathCounts:      s.PathCounts,
 		Successes:       s.Successes,
 		RTLCycles:       s.RTLCycles,
 		RegContribution: make(map[netlist.NodeID]float64, len(s.RegContrib)),
+	}
+	if s.Strata != nil {
+		// Shape errors are caught by Validate; a snapshot that skipped
+		// validation and fails here resumes without per-stratum state
+		// (Merge then rejects it, so the corruption cannot spread).
+		c.Strata, _ = stats.FromStratifiedState(*s.Strata)
+	}
+	if len(s.TDraws) > 0 {
+		c.TDraws = append([]int(nil), s.TDraws...)
+	}
+	if len(s.THits) > 0 {
+		c.THits = append([]int(nil), s.THits...)
+	}
+	if s.CV != nil {
+		cv := stats.FromBivariateState(*s.CV)
+		c.CV = &cv
 	}
 	if s.Convergence != nil {
 		c.Convergence = append([]float64(nil), s.Convergence...)
@@ -166,6 +222,14 @@ func (s *CampaignSnapshot) Validate() error {
 	}
 	if s.Mode != GateAttack && s.Mode != RegisterAttack {
 		return fmt.Errorf("montecarlo: snapshot has unknown mode %d", int(s.Mode))
+	}
+	if s.Strata != nil {
+		if _, err := stats.FromStratifiedState(*s.Strata); err != nil {
+			return fmt.Errorf("montecarlo: snapshot strata: %w", err)
+		}
+	}
+	if s.CV != nil && s.CV.N < 0 {
+		return fmt.Errorf("montecarlo: snapshot has negative control-variate count %d", s.CV.N)
 	}
 	return nil
 }

@@ -1,0 +1,403 @@
+package montecarlo_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/montecarlo"
+	"repro/internal/sampling"
+)
+
+// varianceImportance builds the importance proposal for an evaluation's
+// attack (the building block of the stratified and Sobol samplers).
+func varianceImportance(t *testing.T, ev *core.Evaluation) *sampling.Importance {
+	t.Helper()
+	fw := framework(t)
+	im, err := sampling.NewImportance(ev.Attack, fw.Char, fw.MPU.Netlist, fw.Place, sampling.DefaultAlpha, sampling.DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func varianceStratified(t *testing.T, ev *core.Evaluation) *sampling.Stratified {
+	t.Helper()
+	sp, err := sampling.NewStratified(varianceImportance(t, ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestStratifiedCampaignScalarBatchedIdentical: the lane-batched
+// execution path must reproduce the scalar stratified campaign
+// bit-for-bit — estimator, per-stratum state, tallies, and trace.
+func TestStratifiedCampaignScalarBatchedIdentical(t *testing.T) {
+	ev := concentratedEvaluation(t)
+	sp := varianceStratified(t, ev)
+	opts := montecarlo.CampaignOptions{Samples: 2500, Seed: 5, TrackConvergence: true}
+	scalar, err := ev.Engine.RunCampaign(context.Background(), sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Batch = true
+	opts.BatchWindow = 600 // partial final window
+	batched, err := ev.Engine.RunCampaign(context.Background(), sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Strata == nil || batched.Strata == nil {
+		t.Fatal("stratified campaign did not track per-stratum state")
+	}
+	if scalar.Strata.TotalHits() == 0 {
+		t.Fatal("no hits — the comparison would be vacuous")
+	}
+	if !reflect.DeepEqual(batched.Strata.State(), scalar.Strata.State()) {
+		t.Error("per-stratum state differs between scalar and batched runs")
+	}
+	if batched.SSF() != scalar.SSF() {
+		t.Errorf("SSF %g != scalar %g", batched.SSF(), scalar.SSF())
+	}
+	if batched.Est.State() != scalar.Est.State() {
+		t.Error("plain estimator state differs")
+	}
+	if batched.Weights.State() != scalar.Weights.State() {
+		t.Error("weight moments differ")
+	}
+	if !reflect.DeepEqual(batched.TDraws, scalar.TDraws) || !reflect.DeepEqual(batched.THits, scalar.THits) {
+		t.Error("per-t tallies differ")
+	}
+	if batched.Successes != scalar.Successes || batched.RTLCycles != scalar.RTLCycles {
+		t.Error("success/RTL accounting differs")
+	}
+	if !reflect.DeepEqual(batched.Convergence, scalar.Convergence) {
+		t.Error("convergence traces differ")
+	}
+}
+
+// TestSobolCampaignScalarBatchedIdentical: same contract for the
+// Sobol-driven campaign (whose stream ignores the campaign rng, so the
+// batched path consumes exactly the same sequence).
+func TestSobolCampaignScalarBatchedIdentical(t *testing.T) {
+	ev := concentratedEvaluation(t)
+	sp := sampling.NewSobol(varianceImportance(t, ev))
+	opts := montecarlo.CampaignOptions{Samples: 2500, Seed: 5, TrackConvergence: true}
+	scalar, err := ev.Engine.RunCampaign(context.Background(), sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Batch = true
+	opts.BatchWindow = 600
+	batched, err := ev.Engine.RunCampaign(context.Background(), sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Successes == 0 {
+		t.Fatal("no successes — the comparison would be vacuous")
+	}
+	if batched.Est.State() != scalar.Est.State() {
+		t.Error("estimator state differs between scalar and batched runs")
+	}
+	if batched.Successes != scalar.Successes || batched.RTLCycles != scalar.RTLCycles {
+		t.Error("success/RTL accounting differs")
+	}
+	if !reflect.DeepEqual(batched.Convergence, scalar.Convergence) {
+		t.Error("convergence traces differ")
+	}
+}
+
+// TestStratifiedDisjointForkMergeMatchesSequential is the campaign-level
+// merge guarantee: two campaigns over complementary stratum subsets
+// (ForkStrata), run with the sequential campaign's seed, merge into
+// exactly the sequential campaign's per-stratum state — bit for bit —
+// because per-stratum streams depend only on per-stratum draw counts.
+func TestStratifiedDisjointForkMergeMatchesSequential(t *testing.T) {
+	ev := concentratedEvaluation(t)
+	sp := varianceStratified(t, ev)
+	ctx := context.Background()
+	opts := montecarlo.CampaignOptions{Samples: 3000, Seed: 9}
+	full, err := ev.Engine.RunCampaign(ctx, sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Strata.TotalHits() == 0 {
+		t.Fatal("no hits — the comparison would be vacuous")
+	}
+
+	even := func(k int) bool { return k%2 == 0 }
+	odd := func(k int) bool { return k%2 == 1 }
+	part := func(include func(int) bool) *montecarlo.Campaign {
+		n := 0
+		for k := 0; k < full.Strata.K(); k++ {
+			if include(k) {
+				n += full.Strata.StratumN(k)
+			}
+		}
+		sub, err := sp.ForkStrata(1, include) // fork seed replaced by opts.Seed inside the run
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ev.Engine.RunCampaign(ctx, sub, montecarlo.CampaignOptions{Samples: n, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	merged := part(even).Clone()
+	if err := merged.Merge(part(odd)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Strata.State(), full.Strata.State()) {
+		t.Fatal("merged per-stratum state differs from the sequential run")
+	}
+	if merged.SSF() != full.SSF() {
+		t.Fatalf("merged SSF %v, sequential %v", merged.SSF(), full.SSF())
+	}
+	if merged.Successes != full.Successes {
+		t.Errorf("merged successes %d, sequential %d", merged.Successes, full.Successes)
+	}
+	if !reflect.DeepEqual(merged.TDraws, full.TDraws) || !reflect.DeepEqual(merged.THits, full.THits) {
+		t.Error("merged per-t tallies differ from the sequential run")
+	}
+}
+
+// TestControlVariateCampaign: the control variate leaves the underlying
+// draw sequence untouched (the plain estimator stays bit-identical to
+// the non-CV run), its exact mean matches the empirical mean of the
+// control under the nominal sampler, and unsupported samplers are
+// rejected.
+func TestControlVariateCampaign(t *testing.T) {
+	// The default attack spec, not the concentrated one: the control's
+	// exact mean is strictly positive there, so the comparison has
+	// teeth (a degenerate control would reduce to the plain mean).
+	ev := evaluation(t)
+	ctx := context.Background()
+	opts := montecarlo.CampaignOptions{Samples: 8000, Seed: 3}
+	plain, err := ev.Engine.RunCampaign(ctx, ev.RandomSampler(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ControlVariate = true
+	cv, err := ev.Engine.RunCampaign(ctx, ev.RandomSampler(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.CV == nil {
+		t.Fatal("campaign did not track the control variate")
+	}
+	if cv.Est.State() != plain.Est.State() {
+		t.Error("control variate perturbed the draw sequence")
+	}
+	if cv.CVMean <= 0 || cv.CVMean > 1 {
+		t.Fatalf("exact control mean %v outside (0, 1]", cv.CVMean)
+	}
+	// Under the nominal sampler (weights 1) the empirical control mean
+	// is an unbiased estimate of the exact enumerated mean.
+	meanC := cv.CV.MeanC()
+	tol := 6*math.Sqrt(cv.CV.VarC()/float64(cv.CV.N())) + 1e-12
+	if math.Abs(meanC-cv.CVMean) > tol {
+		t.Errorf("empirical control mean %v, exact %v (tol %v)", meanC, cv.CVMean, tol)
+	}
+	if math.IsNaN(cv.SSF()) || math.IsInf(cv.SSF(), 0) {
+		t.Errorf("adjusted SSF %v", cv.SSF())
+	}
+
+	// Restricted-support samplers would bias E_g[w*phi]; rejected.
+	if _, err := ev.Engine.RunCampaign(ctx, varianceStratified(t, ev), opts); err == nil {
+		t.Error("control variate accepted a restricted-support sampler")
+	}
+}
+
+// TestVarianceStateSnapshotRoundTrip: the new campaign state — strata,
+// weight moments, tallies, control variate — survives Snapshot → JSON →
+// Campaign → Snapshot bit-identically.
+func TestVarianceStateSnapshotRoundTrip(t *testing.T) {
+	ev := concentratedEvaluation(t)
+	ctx := context.Background()
+	strat, err := ev.Engine.RunCampaign(ctx, varianceStratified(t, ev),
+		montecarlo.CampaignOptions{Samples: 1500, Seed: 4, TrackConvergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := ev.Engine.RunCampaign(ctx, ev.RandomSampler(),
+		montecarlo.CampaignOptions{Samples: 1500, Seed: 4, ControlVariate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]*montecarlo.Campaign{"stratified": strat, "cv": cv} {
+		snap := c.Snapshot()
+		if err := snap.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var back montecarlo.CampaignSnapshot
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		restored := back.Campaign()
+		if !reflect.DeepEqual(restored.Snapshot(), snap) {
+			t.Fatalf("%s: snapshot changed over the round trip", name)
+		}
+		if restored.SSF() != c.SSF() {
+			t.Fatalf("%s: SSF %v != %v after round trip", name, restored.SSF(), c.SSF())
+		}
+		if restored.Weights.State() != c.Weights.State() {
+			t.Fatalf("%s: weight moments changed", name)
+		}
+		// A restored campaign must stay mergeable with a live one.
+		if err := restored.Merge(c.Clone()); err != nil {
+			t.Fatalf("%s: restored campaign rejects merge: %v", name, err)
+		}
+	}
+	if strat.Snapshot().Strata == nil {
+		t.Error("stratified snapshot lost per-stratum state")
+	}
+	if cvSnap := cv.Snapshot(); cvSnap.CV == nil || cvSnap.CVMean != cv.CVMean || !cvSnap.ControlVar {
+		t.Error("cv snapshot lost control-variate state")
+	}
+}
+
+// TestMergeRejectsMismatchedVarianceState: merging stratified into
+// unstratified (or across control means) must fail without mutating the
+// receiver.
+func TestMergeRejectsMismatchedVarianceState(t *testing.T) {
+	ev := concentratedEvaluation(t)
+	ctx := context.Background()
+	c, err := ev.Engine.RunCampaign(ctx, varianceStratified(t, ev),
+		montecarlo.CampaignOptions{Samples: 600, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := c.Clone()
+	bare.Strata = nil
+	if err := c.Clone().Merge(bare); err == nil {
+		t.Error("stratified merged with unstratified")
+	}
+
+	evCV := evaluation(t)
+	cv, err := evCV.Engine.RunCampaign(ctx, evCV.RandomSampler(),
+		montecarlo.CampaignOptions{Samples: 600, Seed: 2, ControlVariate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cv.Clone()
+	other.CVMean += 0.5
+	recv := cv.Clone()
+	before := recv.CV.MeanC()
+	if err := recv.Merge(other); err == nil {
+		t.Error("merged across control means")
+	}
+	if recv.CV.MeanC() != before {
+		t.Error("failed merge mutated the receiver")
+	}
+}
+
+// TestStratifiedAdaptResumeBitIdentical composes everything the
+// checkpointing path must preserve: stratified sampler, Neyman proposal
+// re-tuning between rounds, parallel shards, and a JSON-round-tripped
+// checkpoint — the resumed run must be bit-identical to the
+// uninterrupted one.
+func TestStratifiedAdaptResumeBitIdentical(t *testing.T) {
+	ev := concentratedEvaluation(t)
+	engines, err := ev.CloneEngines(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := varianceStratified(t, ev)
+	opts := montecarlo.AdaptiveOptions{
+		Epsilon:          1, // fixed-size: min == max pins the total
+		Risk:             0.5,
+		MinSamples:       1800,
+		MaxSamples:       1800,
+		CheckEvery:       300, // rounds of 600 samples, 3 rounds
+		Seed:             9,
+		TrackConvergence: true,
+		AdaptProposal:    true,
+	}
+	var checkpoints [][]byte
+	opts.Checkpoint = func(rounds int64, total *montecarlo.Campaign) {
+		data, err := json.Marshal(total.Snapshot())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		checkpoints = append(checkpoints, data)
+	}
+	full, err := montecarlo.RunAdaptiveParallel(context.Background(), engines, sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checkpoints) != 3 {
+		t.Fatalf("got %d checkpoints, want 3", len(checkpoints))
+	}
+	if full.Strata.TotalHits() == 0 {
+		t.Fatal("no hits — adaptation never had a signal")
+	}
+	var snap montecarlo.CampaignSnapshot
+	if err := json.Unmarshal(checkpoints[0], &snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = nil
+	opts.Resume = snap.Campaign()
+	opts.ResumeRound = 1
+	resumed, err := montecarlo.RunAdaptiveParallel(context.Background(), engines, sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Est.State() != full.Est.State() {
+		t.Fatalf("resumed estimator %+v, uninterrupted %+v", resumed.Est.State(), full.Est.State())
+	}
+	if !reflect.DeepEqual(resumed.Strata.State(), full.Strata.State()) {
+		t.Fatal("resumed per-stratum state differs from the uninterrupted run")
+	}
+	if resumed.SSF() != full.SSF() {
+		t.Fatalf("resumed SSF %v, uninterrupted %v", resumed.SSF(), full.SSF())
+	}
+	if !reflect.DeepEqual(resumed.TDraws, full.TDraws) || !reflect.DeepEqual(resumed.THits, full.THits) {
+		t.Error("resumed per-t tallies differ")
+	}
+	if !reflect.DeepEqual(resumed.Convergence, full.Convergence) {
+		t.Error("resumed trace differs")
+	}
+}
+
+// TestAdaptiveProposalSequentialReproducible: the chunked sequential
+// adaptive run with proposal re-tuning is a pure function of its
+// options — two runs agree bit-for-bit.
+func TestAdaptiveProposalSequentialReproducible(t *testing.T) {
+	ev := concentratedEvaluation(t)
+	sp := varianceStratified(t, ev)
+	opts := montecarlo.AdaptiveOptions{
+		Epsilon:       1,
+		Risk:          0.5,
+		MinSamples:    1200,
+		MaxSamples:    1200,
+		CheckEvery:    400,
+		Seed:          6,
+		AdaptProposal: true,
+	}
+	a, err := ev.Engine.RunAdaptive(context.Background(), sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ev.Engine.RunAdaptive(context.Background(), sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Est.State() != b.Est.State() || a.SSF() != b.SSF() {
+		t.Fatal("sequential adaptive runs with equal options diverged")
+	}
+	if !reflect.DeepEqual(a.Strata.State(), b.Strata.State()) {
+		t.Fatal("per-stratum state diverged")
+	}
+}

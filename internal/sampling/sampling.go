@@ -28,9 +28,75 @@ type Sampler interface {
 	// Draw returns one sample and its likelihood ratio f/g.
 	Draw(rng *rand.Rand) (fault.Sample, float64)
 	// TimingProbs returns g_T as a probability per timing distance
-	// (Fig 8(a)).
+	// (Fig 8(a)). For allocation-driven samplers this is the long-run
+	// fraction of draws per timing distance; it always sums to 1.
 	TimingProbs() []float64
 }
+
+// Forker is implemented by samplers that carry per-campaign mutable
+// state — low-discrepancy sequence positions, per-stratum substreams.
+// Campaign runners fork one private stream per (campaign, shard) using
+// the shard's deterministically derived seed, so parallel and resumed
+// runs replay the exact same streams. Samplers without per-draw state
+// simply don't implement Forker and are used as-is.
+type Forker interface {
+	Sampler
+	// Fork returns an independent stream of this sampler. The result
+	// must depend only on (receiver, seed).
+	Fork(seed int64) Sampler
+}
+
+// Stratal is implemented by samplers that partition the attack space
+// into strata with known probabilities under the nominal distribution
+// f. Campaigns track a per-stratum estimator for them (the stratified
+// estimate sum_k pi_k * mean_k replaces the plain weighted mean).
+type Stratal interface {
+	Sampler
+	// NumStrata returns the number of strata K.
+	NumStrata() int
+	// StratumProb returns pi_k, the nominal probability of stratum k.
+	StratumProb(k int) float64
+	// StratumOf maps a drawn sample to its stratum index.
+	StratumOf(s fault.Sample) int
+	// ConditionalWeight converts the full draw weight returned by Draw
+	// into the within-stratum conditional weight the stratified
+	// estimator accumulates (it strips the pi_k / allocation_k factor).
+	ConditionalWeight(s fault.Sample, w float64) float64
+}
+
+// AdaptState carries the accumulated observations an Adaptive sampler
+// re-tunes from between adaptive rounds. All fields come from merged
+// campaign state, so the adapted proposal is a pure function of the
+// checkpoint and resumed runs replay it bit-identically.
+type AdaptState struct {
+	// Draws and Hits tally samples and raw successes per timing
+	// distance (index t < TRange).
+	Draws, Hits []int
+	// Strata is the per-stratum estimator when the campaign tracks one
+	// (nil otherwise); allocation tuning reads its per-stratum
+	// variances.
+	Strata *stats.Stratified
+	// Floor is the clamping floor, as a fraction of the largest
+	// re-tuned weight: no stratum's probability or allocation is tilted
+	// below Floor times the maximum. It keeps every stratum explored so
+	// the estimator stays unbiased (a proposal that starves a stratum
+	// with true mass would never correct itself).
+	Floor float64
+}
+
+// Adaptive is implemented by samplers that can re-tune themselves from
+// observed outcomes between adaptive rounds. Adapt must be
+// deterministic in (receiver, state) and must preserve Name() so
+// campaigns under the old and new proposal still merge.
+type Adaptive interface {
+	Sampler
+	// Adapt returns a re-tuned copy (the receiver is not modified), or
+	// the receiver itself when the observations carry no signal yet.
+	Adapt(state AdaptState) (Sampler, error)
+}
+
+// DefaultAdaptFloor is the default weight-floor fraction for Adapt.
+const DefaultAdaptFloor = 0.02
 
 // --- Random --------------------------------------------------------------
 
@@ -317,6 +383,57 @@ func (im *Importance) TimingProbs() []float64 {
 		out[i] = im.tDist.Prob(i)
 	}
 	return out
+}
+
+// Adapt implements Adaptive: it re-tilts the timing-distance
+// distribution g_T toward the observed per-stratum hit rates, keeping
+// the within-layer center distributions untouched. The new weight of a
+// non-empty timing distance is its raw hit rate, floor-clamped at
+// state.Floor times the largest rate so no stratum is starved; empty
+// layers stay at zero (they cannot be drawn). Importance weights are
+// computed from the re-tilted distribution itself, so every draw stays
+// individually unbiased — combining rounds drawn under different
+// proposals is plain multiple-distribution importance sampling.
+//
+// The result shares the immutable layers/center distributions with the
+// receiver; only tDist is replaced. When no hits have been observed
+// anywhere the receiver is returned unchanged (the observations carry
+// no signal to tilt toward).
+func (im *Importance) Adapt(state AdaptState) (Sampler, error) {
+	floor := state.Floor
+	if floor <= 0 {
+		floor = DefaultAdaptFloor
+	}
+	rates := make([]float64, im.attack.TRange)
+	maxRate := 0.0
+	for t := range rates {
+		if len(im.layers[t]) == 0 || t >= len(state.Draws) || t >= len(state.Hits) {
+			continue
+		}
+		if state.Draws[t] > 0 {
+			rates[t] = float64(state.Hits[t]) / float64(state.Draws[t])
+		}
+		if rates[t] > maxRate {
+			maxRate = rates[t]
+		}
+	}
+	if maxRate == 0 {
+		return im, nil
+	}
+	for t := range rates {
+		if len(im.layers[t]) == 0 {
+			rates[t] = 0
+		} else if rates[t] < floor*maxRate {
+			rates[t] = floor * maxRate
+		}
+	}
+	tDist, err := stats.NewDiscrete(rates)
+	if err != nil {
+		return nil, fmt.Errorf("sampling: adapt: %w", err)
+	}
+	out := *im
+	out.tDist = tDist
+	return &out, nil
 }
 
 // CenterProb returns g_{P|T}(center | t) — exported for tests and the

@@ -1,0 +1,241 @@
+package sampling
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/netlist"
+)
+
+// sampleDims is the number of uniform variates one proposal draw
+// consumes in the u-parameterized form: mixture decision, timing
+// distance, within-layer mixture decision, center, radius, width,
+// strike instant.
+const sampleDims = 7
+
+// Sobol drives the importance proposal with a scrambled Sobol
+// low-discrepancy sequence instead of pseudo-random variates: each
+// draw maps one 7-dimensional Sobol point through the proposal's
+// inverse CDFs, so consecutive draws fill the (mixture, t, layer,
+// center, radius, width, instant) space far more evenly than
+// independent sampling. The proposal distribution — and therefore
+// every importance weight — is identical to Importance's; only the
+// variate source changes.
+//
+// The sequence state lives in forked streams (Forker): each
+// (campaign, shard) forks its own stream whose scramble — a linear
+// matrix scramble plus a digital shift per dimension — derives solely
+// from the fork seed, keeping parallel and resumed campaigns
+// reproducible and mergeable. An unforked Sobol degrades gracefully to
+// plain pseudo-random importance sampling.
+//
+// Campaign CIs under QMC are computed from the same Welford variance
+// as plain Monte Carlo, which is conservative-to-approximate rather
+// than exact (the draws are not independent); EXPERIMENTS.md documents
+// the caveat.
+type Sobol struct {
+	inner *Importance
+}
+
+// NewSobol wraps an importance proposal in a Sobol variate source.
+func NewSobol(inner *Importance) *Sobol {
+	return &Sobol{inner: inner}
+}
+
+// Name implements Sampler.
+func (s *Sobol) Name() string { return "sobol" }
+
+// TimingProbs implements Sampler (the proposal's g_T is unchanged).
+func (s *Sobol) TimingProbs() []float64 { return s.inner.TimingProbs() }
+
+// Draw implements Sampler for unforked use: the variate vector comes
+// from the pseudo-random rng, which makes this exactly importance
+// sampling (same distribution, different parametrization).
+func (s *Sobol) Draw(rng *rand.Rand) (fault.Sample, float64) {
+	var u [sampleDims]float64
+	for i := range u {
+		u[i] = rng.Float64()
+	}
+	return s.inner.drawFromU(&u)
+}
+
+// Fork implements Forker: the stream's scramble and shift derive only
+// from (receiver, seed).
+func (s *Sobol) Fork(seed int64) Sampler {
+	return newSobolStream(s, seed)
+}
+
+// sobolStream is one forked Gray-code Sobol generator with per-fork
+// linear matrix scramble + digital shift.
+type sobolStream struct {
+	base  *Sobol
+	dirs  [sampleDims][32]uint32 // scrambled direction numbers
+	shift [sampleDims]uint32
+	x     [sampleDims]uint32
+	index uint64
+}
+
+// sobolPoly holds one primitive polynomial (degree s, coefficient bits
+// a) and its initial direction numbers from the Joe–Kuo tables; the
+// first dimension is the van der Corput sequence and is handled
+// separately.
+type sobolPoly struct {
+	s int
+	a uint32
+	m []uint32
+}
+
+// sobolPolys are dimensions 2..7 of the standard new-joe-kuo-6 table.
+var sobolPolys = [sampleDims - 1]sobolPoly{
+	{s: 1, a: 0, m: []uint32{1}},
+	{s: 2, a: 1, m: []uint32{1, 3}},
+	{s: 3, a: 1, m: []uint32{1, 3, 1}},
+	{s: 3, a: 2, m: []uint32{1, 1, 1}},
+	{s: 4, a: 1, m: []uint32{1, 1, 3, 3}},
+	{s: 4, a: 4, m: []uint32{1, 3, 5, 13}},
+}
+
+// sobolDirections expands one polynomial into its 32 direction numbers
+// v_k = m_k << (31-k), via the standard recurrence
+// m_k = m_{k-s} ^ (m_{k-s} << s) ^ sum_i a_i (m_{k-i} << i).
+func sobolDirections(p sobolPoly) [32]uint32 {
+	m := make([]uint32, 32)
+	copy(m, p.m)
+	for k := p.s; k < 32; k++ {
+		m[k] = m[k-p.s] ^ (m[k-p.s] << uint(p.s))
+		for i := 1; i < p.s; i++ {
+			if (p.a>>uint(p.s-1-i))&1 == 1 {
+				m[k] ^= m[k-i] << uint(i)
+			}
+		}
+	}
+	var v [32]uint32
+	for k := 0; k < 32; k++ {
+		v[k] = m[k] << uint(31-k)
+	}
+	return v
+}
+
+// newSobolStream builds the scrambled generator: for each dimension, a
+// random lower-triangular bit matrix L (unit diagonal) left-multiplies
+// every direction number — Matoušek's linear matrix scramble — and a
+// random 32-bit digital shift offsets the whole sequence. Both come
+// from an rng seeded only by the fork seed.
+func newSobolStream(base *Sobol, seed int64) *sobolStream {
+	st := &sobolStream{base: base}
+	rng := rand.New(rand.NewSource(seed*strataSeedMix + int64(sampleDims)))
+	for d := 0; d < sampleDims; d++ {
+		var v [32]uint32
+		if d == 0 {
+			for k := 0; k < 32; k++ {
+				v[k] = 1 << uint(31-k)
+			}
+		} else {
+			v = sobolDirections(sobolPolys[d-1])
+		}
+		// L row i covers digits j <= i; digit j sits at bit 31-j.
+		var l [32]uint32
+		for i := 0; i < 32; i++ {
+			mask := uint32(0)
+			if i > 0 {
+				// i random bits at positions 32-i..31 (digits 0..i-1).
+				mask = (rng.Uint32() & (1<<uint(i) - 1)) << uint(32-i)
+			}
+			l[i] = 1<<uint(31-i) | mask
+		}
+		for k := 0; k < 32; k++ {
+			var sv uint32
+			for i := 0; i < 32; i++ {
+				sv |= uint32(bits.OnesCount32(l[i]&v[k])&1) << uint(31-i)
+			}
+			st.dirs[d][k] = sv
+		}
+		st.shift[d] = rng.Uint32()
+	}
+	return st
+}
+
+// Name implements Sampler.
+func (st *sobolStream) Name() string { return st.base.Name() }
+
+// TimingProbs implements Sampler.
+func (st *sobolStream) TimingProbs() []float64 { return st.base.TimingProbs() }
+
+// Fork implements Forker by re-forking from the base sampler.
+func (st *sobolStream) Fork(seed int64) Sampler { return st.base.Fork(seed) }
+
+// Draw implements Sampler: the next scrambled Sobol point through the
+// proposal's inverse CDFs. The caller's rng is ignored — the stream is
+// a pure function of (base, seed, draw count).
+func (st *sobolStream) Draw(_ *rand.Rand) (fault.Sample, float64) {
+	st.index++
+	c := bits.TrailingZeros64(st.index)
+	if c > 31 {
+		c = 31
+	}
+	var u [sampleDims]float64
+	for d := 0; d < sampleDims; d++ {
+		st.x[d] ^= st.dirs[d][c]
+		u[d] = float64(st.x[d]^st.shift[d]) * (1.0 / (1 << 32))
+	}
+	return st.base.inner.drawFromU(&u)
+}
+
+// uniformIndex maps a uniform variate to an index in [0, n) — the
+// inverse-CDF counterpart of rng.Intn.
+func uniformIndex(u float64, n int) int {
+	i := int(u * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// drawFromU maps a vector of uniform variates through the importance
+// proposal by inverse CDF: u[0] is the defensive-mixture decision,
+// u[1] the timing distance, u[2] the within-layer mixture decision,
+// u[3] the center, u[4..6] radius / width / strike instant. The
+// proposal distribution is identical to Draw's — the weight uses the
+// same nominal and proposal densities — only the variate
+// parametrization differs, which is what lets a low-discrepancy
+// sequence drive it.
+func (im *Importance) drawFromU(u *[sampleDims]float64) (fault.Sample, float64) {
+	tech := im.attack.Technique
+	var s fault.Sample
+	if im.MixUniform > 0 && u[0] < im.MixUniform {
+		var center netlist.NodeID
+		if im.attack.CenterDist != nil {
+			center = im.attack.Candidates[im.attack.CenterDist.Sample(u[3])]
+		} else {
+			center = im.attack.Candidates[uniformIndex(u[3], len(im.attack.Candidates))]
+		}
+		s = fault.Sample{
+			T:      uniformIndex(u[1], im.attack.TRange),
+			Center: center,
+			Radius: tech.RadiusFromU(u[4]),
+			Width:  tech.WidthFromU(u[5]),
+			Time:   tech.TimeFromU(u[6]),
+			Cycles: tech.Cycles(),
+		}
+	} else {
+		t := im.tDist.Sample(u[1])
+		layer := im.layers[t]
+		var center netlist.NodeID
+		if im.MixLayer > 0 && u[2] < im.MixLayer {
+			center = layer[uniformIndex(u[3], len(layer))]
+		} else {
+			center = layer[im.pDists[t].Sample(u[3])]
+		}
+		s = fault.Sample{
+			T:      t,
+			Center: center,
+			Radius: tech.RadiusFromU(u[4]),
+			Width:  tech.WidthFromU(u[5]),
+			Time:   tech.TimeFromU(u[6]),
+		}
+	}
+	f := im.attack.Density(s)
+	g := im.MixUniform*f + (1-im.MixUniform)*im.density(s)
+	return s, f / g
+}

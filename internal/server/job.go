@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -36,7 +37,8 @@ type JobRequest struct {
 	MaxSamples int `json:"max_samples,omitempty"`
 	// Mode is "gate" (default) or "register".
 	Mode string `json:"mode,omitempty"`
-	// Sampler is "random", "cone", or "importance" (default).
+	// Sampler is "random", "cone", "importance" (default),
+	// "stratified", or "sobol".
 	Sampler string `json:"sampler,omitempty"`
 	// Seed makes the job reproducible; the per-(round, shard) seeds of
 	// the worker pool are derived from it deterministically.
@@ -63,7 +65,7 @@ func (r *JobRequest) normalize(maxSamples int) error {
 		return err
 	}
 	switch r.Sampler {
-	case "random", "cone", "importance":
+	case "random", "cone", "importance", "stratified", "sobol":
 	default:
 		return fmt.Errorf("unknown sampler %q", r.Sampler)
 	}
@@ -133,6 +135,8 @@ type JobResult struct {
 	SSF         float64   `json:"ssf"`
 	StdErr      float64   `json:"std_err"`
 	Variance    float64   `json:"variance"`
+	CIHalfWidth float64   `json:"ci_half_width,omitempty"`
+	ESS         float64   `json:"ess,omitempty"`
 	Samples     int       `json:"samples"`
 	Successes   int       `json:"successes"`
 	RTLCycles   int       `json:"rtl_cycles"`
@@ -148,10 +152,16 @@ func resultFrom(c *montecarlo.Campaign) *JobResult {
 	if c == nil {
 		return nil
 	}
+	ci := c.CIHalfWidth()
+	if math.IsInf(ci, 0) || math.IsNaN(ci) {
+		ci = 0
+	}
 	return &JobResult{
 		SSF:         c.SSF(),
 		StdErr:      c.Est.StdErr(),
 		Variance:    c.Variance(),
+		CIHalfWidth: ci,
+		ESS:         c.ESS(),
 		Samples:     c.Est.N(),
 		Successes:   c.Successes,
 		RTLCycles:   c.RTLCycles,

@@ -219,6 +219,10 @@ func (s *Server) sampler(name string) (sampling.Sampler, error) {
 		sp, err = ev.ConeSampler()
 	case "importance":
 		sp, err = ev.ImportanceSampler()
+	case "stratified":
+		sp, err = ev.StratifiedSampler()
+	case "sobol":
+		sp, err = ev.SobolSampler()
 	default:
 		err = fmt.Errorf("server: unknown sampler %q", name)
 	}

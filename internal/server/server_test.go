@@ -81,6 +81,8 @@ func TestJobRequestNormalize(t *testing.T) {
 		{"risk out of range", JobRequest{Epsilon: 0.01, Risk: 1}, false},
 		{"over budget", JobRequest{Samples: 1 << 30}, false},
 		{"unknown sampler", JobRequest{Samples: 10, Sampler: "bogus"}, false},
+		{"stratified sampler", JobRequest{Samples: 10, Sampler: "stratified"}, true},
+		{"sobol sampler", JobRequest{Samples: 10, Sampler: "sobol"}, true},
 		{"unknown mode", JobRequest{Samples: 10, Mode: "weird"}, false},
 		{"negative check_every", JobRequest{Samples: 10, CheckEvery: -1}, false},
 	}
@@ -208,6 +210,34 @@ func TestStoreRoundTrip(t *testing.T) {
 	recs, _ = st.Load()
 	if recs[1].State != StateDone {
 		t.Fatal("overwrite not visible")
+	}
+}
+
+// TestUnknownSamplerRejectedHTTP: a syntactically valid submission
+// naming a sampler the server does not implement is a client error —
+// clean 400 before any work is queued.
+func TestUnknownSamplerRejectedHTTP(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"samples": 100, "sampler": "sobolev"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown sampler submit: %d, want 400", r.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "sampler") {
+		t.Errorf("error %q does not name the sampler field", e.Error)
 	}
 }
 
@@ -492,6 +522,95 @@ func TestRestartResumeBitIdentical(t *testing.T) {
 	}
 	if got.ClassCounts != ref.ClassCounts || got.PathCounts != ref.PathCounts {
 		t.Error("resumed histograms differ from the uninterrupted run")
+	}
+}
+
+// TestStratifiedRestartResumeBitIdentical: a stratified job carries
+// per-stratum Welford state through the server's checkpoint files; a
+// kill + restart mid-job must still finish bit-identical to an
+// uninterrupted run, and the result must report the variance-reduction
+// diagnostics (CI half-width, ESS).
+func TestStratifiedRestartResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	p := enginePool(t)
+	srv, err := New(p, dir, Config{CheckpointEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+
+	req := JobRequest{Samples: 6000, CheckEvery: 60, Sampler: "stratified", Seed: 13}
+	if err := req.normalize(srv.cfg.MaxSamples); err != nil {
+		t.Fatal(err)
+	}
+	j, err := srv.submit("default", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint progress; job state %s", j.state())
+		}
+		if j.status().Rounds >= 2 {
+			break
+		}
+		if st := j.state(); st == StateDone || st == StateFailed {
+			t.Fatalf("job reached %s before the shutdown; raise Samples", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.Shutdown()
+	if st := j.state(); st != StateQueued {
+		t.Fatalf("after shutdown job is %s, want queued for resume", st)
+	}
+	// The persisted checkpoint must round-trip the per-stratum state.
+	if cp := j.snapshotRecord().Checkpoint; cp == nil || cp.Strata == nil {
+		t.Fatalf("stratified checkpoint lost its strata: %+v", cp)
+	}
+
+	srv2, err := New(p, dir, Config{CheckpointEvery: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, ok := srv2.job(j.snapshotRecord().ID)
+	if !ok {
+		t.Fatal("restarted server lost the job")
+	}
+	srv2.Start()
+	defer srv2.Shutdown()
+	deadline = time.Now().Add(120 * time.Second)
+	for j2.state() != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck in %s", j2.state())
+		}
+		if j2.state() == StateFailed {
+			t.Fatalf("resumed job failed: %s", j2.snapshotRecord().Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got := j2.snapshotRecord().Result
+
+	sp, err := p.Evaluation.StratifiedSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := montecarlo.RunAdaptiveParallel(context.Background(),
+		p.Engines, sp, req.adaptiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.SSF != ref.SSF() || got.Samples != ref.Est.N() ||
+		got.Successes != ref.Successes || got.Variance != ref.Variance() {
+		t.Fatalf("resumed result %+v; uninterrupted SSF %v N %d successes %d",
+			got, ref.SSF(), ref.Est.N(), ref.Successes)
+	}
+	if got.CIHalfWidth != ref.CIHalfWidth() {
+		t.Errorf("resumed CI half-width %v, uninterrupted %v", got.CIHalfWidth, ref.CIHalfWidth())
+	}
+	if got.ESS != ref.ESS() {
+		t.Errorf("resumed ESS %v, uninterrupted %v", got.ESS, ref.ESS())
 	}
 }
 

@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke lint fuzz-smoke smoke-server
+.PHONY: build test race bench bench-smoke lint fuzz-smoke smoke-server gen
 
 build:
 	$(GO) build ./...
+
+# gen regenerates every go:generate artifact — today that is the MPU's
+# straight-line evaluator (internal/soc/mpu_evalgen.go, produced by
+# cmd/gnlgen). Run after changing the MPU netlist or the logicsim
+# compiler, then commit the result; CI fails on drift.
+gen:
+	$(GO) generate ./...
 
 test:
 	$(GO) test ./...
@@ -41,18 +48,22 @@ lint:
 fuzz-smoke:
 	$(GO) test ./internal/netlist/ -fuzz FuzzNetlistDeserialize -fuzztime=20s
 	$(GO) test ./internal/logicsim/ -run '^FuzzPlanEquivalence$$' -fuzz '^FuzzPlanEquivalence$$' -fuzztime=20s
+	$(GO) test ./internal/logicsim/codegen/ -run '^FuzzCodegenEquivalence$$' -fuzz '^FuzzCodegenEquivalence$$' -fuzztime=20s
 
 # bench regenerates the committed perf records: BENCH_runonce.json (the
 # per-run hot path: ns/op + allocs/op for RunOnce, GateInjection,
 # RTLCycle), BENCH_campaign.json (campaign throughput, scalar vs
 # lane-batched, with the speedup ratio), BENCH_lanes.json (batched
-# throughput across the 64/256/512-lane resume widths), and
+# throughput across the 64/256/512-lane resume widths),
+# BENCH_codegen.json (generated straight-line evaluator vs interpreted
+# op stream, per combinational pass and per campaign), and
 # BENCH_convergence.json (per-sampler samples-to-target-CI — statistical
 # efficiency rather than wall time).
 bench:
 	$(GO) run ./cmd/benchjson -suite runonce -out BENCH_runonce.json
 	$(GO) run ./cmd/benchjson -suite campaign -out BENCH_campaign.json
 	$(GO) run ./cmd/benchjson -suite lanes -out BENCH_lanes.json
+	$(GO) run ./cmd/benchjson -suite codegen -out BENCH_codegen.json
 	$(GO) run ./cmd/benchjson -suite convergence -out BENCH_convergence.json
 
 # bench-smoke is the cheap CI guard: the hot-path benchmarks must still
@@ -63,9 +74,12 @@ bench:
 # at a tight 0.05.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRunOnce$$|BenchmarkGateInjection$$|BenchmarkCampaignBatched$$|BenchmarkCampaignLanes(64|256|512)$$' -benchtime=100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkMPUEval$$' -benchtime=100x ./internal/soc/
 	$(GO) run ./cmd/benchjson -suite runonce -out /tmp/bench_smoke.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.75 BENCH_runonce.json /tmp/bench_smoke.json
 	$(GO) run ./cmd/benchjson -suite lanes -out /tmp/bench_lanes_smoke.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.75 BENCH_lanes.json /tmp/bench_lanes_smoke.json
+	$(GO) run ./cmd/benchjson -suite codegen -out /tmp/bench_codegen_smoke.json
+	$(GO) run ./cmd/benchjson -compare -tolerance 0.75 BENCH_codegen.json /tmp/bench_codegen_smoke.json
 	$(GO) run ./cmd/benchjson -suite convergence -out /tmp/bench_conv_smoke.json
 	$(GO) run ./cmd/benchjson -compare -tolerance 0.05 BENCH_convergence.json /tmp/bench_conv_smoke.json

@@ -11,6 +11,17 @@
 //     across resume widths — scalar baseline, then 64, 256, and 512
 //     virtual lanes per pass. Fixed-seed results are bit-identical at
 //     every width; only the throughput differs.
+//   - BENCH_codegen.json (-suite codegen): the generated straight-line
+//     evaluator (internal/logicsim/codegen) against the interpreted op
+//     stream on the bundled MPU, at two levels. EvalPass* rows time one
+//     combinational pass per lane width (samples_per_sec counts
+//     lane-samples — lanes per pass over pass time); Campaign* rows time
+//     the full lane-batched campaign on both stacks. The headline
+//     speedup_codegen_vs_interp is the 512-lane evaluator ratio;
+//     speedup_codegen_campaign is the end-to-end campaign ratio, which
+//     Amdahl dilutes because the per-sample cost is dominated by the
+//     gate-level timing injection, not the combinational sweep. Fixed-
+//     seed results are bit-identical on both paths at every width.
 //   - BENCH_convergence.json (-suite convergence): statistical
 //     efficiency instead of wall time — for each sampler, the number of
 //     samples an adaptive campaign needs before its 95% CI half-width
@@ -30,7 +41,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-suite runonce|campaign|lanes|convergence] [-out FILE]
+//	go run ./cmd/benchjson [-suite runonce|campaign|lanes|codegen|convergence] [-out FILE]
 //	go run ./cmd/benchjson -compare [-tolerance T] old.json new.json
 package main
 
@@ -45,6 +56,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/logicsim"
 	"repro/internal/montecarlo"
 	"repro/internal/netlist"
 	"repro/internal/sampling"
@@ -73,11 +85,16 @@ type benchFile struct {
 	// SpeedupBatched records batched-over-scalar campaign throughput
 	// (campaign suite only).
 	SpeedupBatched float64 `json:"speedup_batched_vs_scalar,omitempty"`
+	// SpeedupCodegen records generated-over-interpreted combinational
+	// pass throughput at 512 lanes; SpeedupCodegenCampaign records the
+	// same ratio at full-campaign level (codegen suite only).
+	SpeedupCodegen         float64 `json:"speedup_codegen_vs_interp,omitempty"`
+	SpeedupCodegenCampaign float64 `json:"speedup_codegen_campaign,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
-	suite := flag.String("suite", "runonce", "benchmark suite: runonce | campaign | lanes | convergence")
+	suite := flag.String("suite", "runonce", "benchmark suite: runonce | campaign | lanes | codegen | convergence")
 	compare := flag.Bool("compare", false, "compare two records (old.json new.json) instead of benchmarking")
 	tolerance := flag.Float64("tolerance", 0.25, "compare: allowed fractional ns/op growth before failing")
 	flag.Parse()
@@ -100,6 +117,8 @@ func main() {
 		results = campaignSuite()
 	case "lanes":
 		results = lanesSuite()
+	case "codegen":
+		results = codegenSuite()
 	case "convergence":
 		results = convergenceSuite()
 	default:
@@ -120,6 +139,29 @@ func main() {
 		if batched > 0 {
 			file.SpeedupBatched = scalar / batched
 			fmt.Printf("batched speedup: %.2fx\n", file.SpeedupBatched)
+		}
+	}
+	if *suite == "codegen" {
+		var evalInterp, evalGen, campInterp, campGen float64
+		for _, r := range results {
+			switch r.Name {
+			case "EvalPassInterp512":
+				evalInterp = r.NsPerOp
+			case "EvalPassCodegen512":
+				evalGen = r.NsPerOp
+			case "CampaignInterp512":
+				campInterp = r.NsPerOp
+			case "CampaignCodegen512":
+				campGen = r.NsPerOp
+			}
+		}
+		if evalGen > 0 {
+			file.SpeedupCodegen = evalInterp / evalGen
+			fmt.Printf("codegen eval speedup (512 lanes): %.2fx\n", file.SpeedupCodegen)
+		}
+		if campGen > 0 {
+			file.SpeedupCodegenCampaign = campInterp / campGen
+			fmt.Printf("codegen campaign speedup: %.2fx\n", file.SpeedupCodegenCampaign)
 		}
 	}
 	path := *out
@@ -265,6 +307,98 @@ func lanesSuite() []benchResult {
 				b.Fatal(err)
 			}
 			opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1, Batch: cfg.batch, Lanes: cfg.lanes}
+			b.ResetTimer()
+			if _, err := ev.Engine.RunCampaign(b.Context(), sp, opts); err != nil {
+				b.Fatal(err)
+			}
+		})
+		res.SamplesPerSec = 1e9 / res.NsPerOp
+	}
+	return results
+}
+
+// codegenSuite measures what the generated straight-line evaluator
+// buys over the interpreted op stream, at two levels. EvalPass* rows
+// time a single combinational pass of the bundled MPU per lane width —
+// the work the codegen backend replaces — with samples_per_sec counting
+// lane-samples (lanes per pass over pass time); this is where the
+// headline speedup_codegen_vs_interp comes from. Campaign* rows time
+// the full lane-batched campaign on two otherwise identical stacks,
+// one built with generated-evaluator binding disabled (the interpreted
+// 512-lane baseline) and one with the committed MPU evaluator bound;
+// that ratio is Amdahl-diluted because most of a sample is gate-level
+// timing injection, not combinational sweep. Same workload, sampler,
+// and seed as the lanes suite; fixed-seed results are bit-identical on
+// both paths (montecarlo's TestCampaignCodegenEquivalence pins that).
+func codegenSuite() []benchResult {
+	_, evGen := setup()
+	if !evGen.Engine.SoC.Sim.Plan().Generated() {
+		fatal(fmt.Errorf("codegen suite: MPU plan did not bind the generated evaluator (stale mpu_evalgen.go? run `go generate ./...`)"))
+	}
+	prev := logicsim.SetGeneratedEnabled(false)
+	_, evInt := setup() // Build and NewEvaluation both inside the disabled window
+	logicsim.SetGeneratedEnabled(prev)
+	if evInt.Engine.SoC.Sim.Plan().Generated() {
+		fatal(fmt.Errorf("codegen suite: interpreted baseline bound a generated evaluator"))
+	}
+
+	var results []benchResult
+
+	mpu, err := soc.BuildMPU(soc.DefaultMPUConfig())
+	if err != nil {
+		fatal(err)
+	}
+	prev = logicsim.SetGeneratedEnabled(false)
+	simInt, errI := logicsim.New(mpu.Netlist)
+	logicsim.SetGeneratedEnabled(prev)
+	if errI != nil {
+		fatal(errI)
+	}
+	simGen, err := logicsim.New(mpu.Netlist)
+	if err != nil {
+		fatal(err)
+	}
+	for _, cfg := range []struct {
+		name   string
+		sim    *logicsim.Simulator
+		groups int
+	}{
+		{"EvalPassInterp512", simInt, 8},
+		{"EvalPassCodegen64", simGen, 1},
+		{"EvalPassCodegen256", simGen, 4},
+		{"EvalPassCodegen512", simGen, 8},
+	} {
+		w, err := logicsim.NewLaneSim(cfg.sim, cfg.groups)
+		if err != nil {
+			fatal(err)
+		}
+		lanes := 64 * cfg.groups
+		res := record(&results, cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Eval()
+			}
+		})
+		res.SamplesPerSec = float64(lanes) * 1e9 / res.NsPerOp
+	}
+	for _, cfg := range []struct {
+		name  string
+		ev    *core.Evaluation
+		lanes int
+	}{
+		{"CampaignInterp512", evInt, 512},
+		{"CampaignCodegen64", evGen, 64},
+		{"CampaignCodegen256", evGen, 256},
+		{"CampaignCodegen512", evGen, 512},
+	} {
+		ev := cfg.ev
+		lanes := cfg.lanes
+		res := record(&results, cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			sp, err := ev.ImportanceSampler()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := montecarlo.CampaignOptions{Samples: b.N, Seed: 1, Batch: true, Lanes: lanes}
 			b.ResetTimer()
 			if _, err := ev.Engine.RunCampaign(b.Context(), sp, opts); err != nil {
 				b.Fatal(err)

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/logicsim"
 	"repro/internal/montecarlo"
 	"repro/internal/report"
 	"repro/internal/sampling"
@@ -49,6 +50,7 @@ func main() {
 	progress := flag.Bool("progress", stderrIsTerminal(), "print a live progress line to stderr")
 	batch := flag.Bool("batch", false, "use the lane-batched speculative resume (gate/register modes)")
 	lanes := flag.Int("lanes", 0, "batched: virtual lanes per resume pass (64 | 256 | 512; 0 = default 512)")
+	codegen := flag.Bool("codegen", true, "bind the generated straight-line evaluator when one matches the compiled plan hash (false = always interpret)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the campaign to this file")
 	flag.Parse()
@@ -66,6 +68,9 @@ func main() {
 	defer stop()
 
 	t0 := time.Now()
+	// Plans bind generated evaluators at compile time, so the switch
+	// must cover the whole stack construction, not just the campaign.
+	logicsim.SetGeneratedEnabled(*codegen)
 	opts := core.DefaultOptions()
 	if *tRange+1 > opts.Precharac.MaxDepth {
 		opts.Precharac.MaxDepth = *tRange + 1
@@ -81,8 +86,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("framework ready in %v; golden run: target cycle %d, final cycle %d\n",
-		time.Since(t0).Round(time.Millisecond), ev.Golden.TargetCycle, ev.Golden.FinalCycle)
+	evalKind := "interpreted"
+	if ev.Engine.SoC.Sim.Plan().Generated() {
+		evalKind = "generated (straight-line)"
+	}
+	fmt.Printf("framework ready in %v; evaluator: %s; golden run: target cycle %d, final cycle %d\n",
+		time.Since(t0).Round(time.Millisecond), evalKind, ev.Golden.TargetCycle, ev.Golden.FinalCycle)
 
 	var sp sampling.Sampler
 	switch *strategy {

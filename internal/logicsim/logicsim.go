@@ -60,8 +60,17 @@ func New(nl *netlist.Netlist) (*Simulator, error) {
 		vals:     make([]uint64, nl.NumNodes()),
 		latchBuf: make([]uint64, len(nl.Regs())),
 	}
-	if plan.maxFanin > 8 {
-		s.argBuf = make([]uint64, plan.maxFanin)
+	// The reference evaluator walks the raw netlist, so its spill
+	// buffer is sized from the netlist's widest cell — the plan's
+	// maxFanin can be smaller after peephole folding.
+	maxFanin := 0
+	for id := 0; id < nl.NumNodes(); id++ {
+		if n := len(nl.Node(netlist.NodeID(id)).Fanin); n > maxFanin {
+			maxFanin = n
+		}
+	}
+	if maxFanin > 8 {
+		s.argBuf = make([]uint64, maxFanin)
 	}
 	s.Reset()
 	return s, nil

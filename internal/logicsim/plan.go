@@ -79,9 +79,16 @@ type Plan struct {
 	regSrc []int32
 	// initHi lists the registers whose power-on value is 1.
 	initHi []int32
-	// maxFanin is the widest cell in the design (the reference
-	// pointer-walking evaluator sizes its spill buffer from it).
+	// maxFanin is the widest op in the plan (after any peephole
+	// folding; the reference pointer-walking evaluator sizes its spill
+	// buffer from the netlist itself).
 	maxFanin int
+	// hash is the cached content hash (see Hash), computed at Compile
+	// so the immutable plan is never written after it is shared.
+	hash uint64
+	// gen is the registered straight-line evaluator bound to this
+	// plan, or nil when Eval interprets the op stream.
+	gen *Generated
 }
 
 // CompileOptions configures plan compilation.
@@ -93,6 +100,14 @@ type CompileOptions struct {
 	// tooling that wants to inspect a rejected plan (netlint -plan) and
 	// for benchmarks of compilation itself, not for production use.
 	SkipPlanCheck bool
+	// NoPeephole disables the compile-time peephole pass (buf-chain
+	// elision and constant folding via modelcheck.FoldNetlist). The
+	// pass is exact — every node's value is unchanged in every lane —
+	// so the switch exists for equivalence tests and ablation
+	// benchmarks, not correctness. Note that the packed op stream (and
+	// therefore Plan.Hash) differs between the two forms, so a plan
+	// compiled with NoPeephole never binds a generated evaluator.
+	NoPeephole bool
 }
 
 // Compile builds the evaluation plan for a netlist. The netlist must be
@@ -121,9 +136,24 @@ func CompileWithOptions(nl *netlist.Netlist, opts CompileOptions) (*Plan, error)
 		numNodes: nn,
 		ops:      make([]uint64, 0, len(order)),
 	}
+	// The peephole pass packs each op's canonical folded form instead
+	// of the raw netlist cell: buf-chain fanins read the chain's root
+	// slot, statically-constant nodes become Const ops, and identity
+	// constant operands are dropped (specializing the opcode when the
+	// fanin list shrinks to the two-input fast path). Every node keeps
+	// exactly one op computing its exact value, so results are
+	// bit-identical and the PL verifier accepts either form.
+	var fold *modelcheck.Fold
+	if !opts.NoPeephole {
+		fold = modelcheck.FoldNetlist(nl)
+	}
 	for _, id := range order {
 		node := nl.Node(id)
-		nin := len(node.Fanin)
+		cell, fanin := node.Type, node.Fanin
+		if fold != nil {
+			cell, fanin = fold.Expected(id)
+		}
+		nin := len(fanin)
 		if nin > opNinMask {
 			return nil, fmt.Errorf("logicsim: node %d has %d fanins, plan limit is %d", id, nin, opNinMask)
 		}
@@ -134,11 +164,11 @@ func CompileWithOptions(nl *netlist.Netlist, opts CompileOptions) (*Plan, error)
 		if off+nin > 1<<opOffBits {
 			return nil, fmt.Errorf("logicsim: fanin pool exceeds the %d-entry plan limit", 1<<opOffBits)
 		}
-		code, err := planOpcode(node.Type, nin)
+		code, err := planOpcode(cell, nin)
 		if err != nil {
 			return nil, err
 		}
-		for _, f := range node.Fanin {
+		for _, f := range fanin {
 			p.pool = append(p.pool, int32(f))
 		}
 		p.ops = append(p.ops, uint64(id)|
@@ -167,6 +197,11 @@ func CompileWithOptions(nl *netlist.Netlist, opts CompileOptions) (*Plan, error)
 			return nil, fmt.Errorf("logicsim: compiled plan failed static verification: %w", err)
 		}
 	}
+	// Hash eagerly (the plan is about to be shared immutably across
+	// forks) and bind a registered straight-line evaluator when one
+	// matches; on any mismatch the plan stays interpreted.
+	p.Hash()
+	p.gen = generatedFor(p)
 	return p, nil
 }
 
@@ -227,10 +262,24 @@ func (p *Plan) NumNodes() int { return p.numNodes }
 func (p *Plan) NumRegs() int { return len(p.regs) }
 
 // Eval runs the combinational op stream over a flat 64-lane value
-// array indexed by NodeID. It is the SoA replacement for the
-// pointer-walking sweep: per op it decodes four packed fields and
-// reads/writes vals directly through the fanin pool.
+// array indexed by NodeID. When the plan is bound to a registered
+// straight-line evaluator (see RegisterGenerated) that code runs
+// instead of the interpreter; the two are bit-identical by
+// construction and by the codegen equivalence fuzz target.
 func (p *Plan) Eval(vals []uint64) {
+	if g := p.gen; g != nil && g.Eval1 != nil {
+		g.Eval1(vals)
+		return
+	}
+	p.EvalInterpreted(vals)
+}
+
+// EvalInterpreted runs the interpreted op stream unconditionally,
+// bypassing any bound generated evaluator. It is the SoA replacement
+// for the pointer-walking sweep: per op it decodes four packed fields
+// and reads/writes vals directly through the fanin pool. Exposed as
+// the equivalence oracle for generated code.
+func (p *Plan) EvalInterpreted(vals []uint64) {
 	pool := p.pool
 	//hot
 	for _, op := range p.ops {

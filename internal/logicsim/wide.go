@@ -179,11 +179,29 @@ func (s *wideSim) RegDiffMasks(ref []uint64, out []uint64) {
 	copy(out, ms)
 }
 
-// Eval runs the plan's op stream over the wide value array. The
-// structure mirrors Plan.Eval exactly — same opcode dispatch, same
-// order — with each op's word loop widened to the K-word stride, so
-// the packed-op decode is amortized over K words.
+// Eval runs the plan's op stream over the wide value array. A bound
+// straight-line evaluator takes precedence at its matching stride
+// (the generated wide variants address the same flat node-major
+// layout); otherwise the interpreter mirrors Plan.EvalInterpreted —
+// same opcode dispatch, same order — with each op's word loop widened
+// to the K-word stride, so the packed-op decode is amortized over K
+// words.
 func (s *wideSim) Eval() {
+	if g := s.plan.gen; g != nil {
+		var fn func([]uint64)
+		switch s.groups {
+		case 1:
+			fn = g.Eval1
+		case 4:
+			fn = g.Eval4
+		case 8:
+			fn = g.Eval8
+		}
+		if fn != nil {
+			fn(s.vals)
+			return
+		}
+	}
 	p := s.plan
 	K := s.groups
 	vals := s.vals

@@ -1,0 +1,274 @@
+// Netlist folding: the canonical value-preserving simplification of a
+// design's combinational logic, shared by logicsim's compile-time
+// peephole pass and the PL-family plan verifier. Both sides derive the
+// fold from the netlist alone — the compiler uses it to pack a smaller
+// op stream, the verifier re-derives it to decide whether a plan op
+// that differs from the raw netlist node is a legitimate rewrite or a
+// corruption.
+//
+// Two rewrite families are covered, both exact at the bit level for
+// every lane:
+//
+//   - buf elision: a consumer of a Buf (or a chain of Bufs) may read
+//     the chain's root slot directly — the Buf op still writes its own
+//     slot (every node's value stays observable), but nothing needs to
+//     read it;
+//   - constant folding: a node whose value is statically known in every
+//     lane becomes a Const op, and known-constant fanins that are
+//     identity elements of their consumer (1 for AND-family, 0 for
+//     OR-family, either for XOR-family with parity tracking, a known
+//     select for Mux2) are dropped from the consumer's fanin list,
+//     specializing the consumer's opcode when the list shrinks.
+//
+// The fold never removes an op: each combinational node keeps exactly
+// one op computing its exact value, so PL001 coverage and the
+// fixed-seed bit-identity of every simulation result are preserved by
+// construction.
+package modelcheck
+
+import "repro/internal/netlist"
+
+// constUnknown marks a node whose value is not statically known.
+const constUnknown int8 = -1
+
+// Fold is the canonical folded form of a netlist's combinational
+// logic. It is immutable after FoldNetlist.
+type Fold struct {
+	n *netlist.Netlist
+	// konst[id] is 0 or 1 when node id's value is statically known in
+	// every lane, constUnknown otherwise.
+	konst []int8
+	// alias[id] is the slot a folded consumer reads for node id's
+	// value: the root of id's Buf chain, or id itself. Known-constant
+	// nodes alias to themselves (their own op writes the constant).
+	alias []netlist.NodeID
+}
+
+// FoldNetlist derives the canonical fold of a netlist. The netlist
+// must be structurally sound enough to topo-order; if it is not (e.g.
+// a combinational cycle), the identity fold is returned — no constant
+// is known and every node aliases to itself — so callers degrade to
+// the unfolded comparison instead of failing.
+func FoldNetlist(n *netlist.Netlist) *Fold {
+	nn := n.NumNodes()
+	f := &Fold{
+		n:     n,
+		konst: make([]int8, nn),
+		alias: make([]netlist.NodeID, nn),
+	}
+	for id := 0; id < nn; id++ {
+		f.konst[id] = constUnknown
+		f.alias[id] = netlist.NodeID(id)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return f
+	}
+	for _, id := range order {
+		node := n.Node(id)
+		f.konst[id] = foldConst(node, f.konst)
+		if f.konst[id] == constUnknown && node.Type == netlist.Buf {
+			f.alias[id] = f.alias[node.Fanin[0]]
+		}
+	}
+	return f
+}
+
+// foldConst propagates static constants through one cell. Fanins are
+// looked up in konst, which is complete for everything earlier in topo
+// order; inputs and registers stay unknown.
+func foldConst(node *netlist.Node, konst []int8) int8 {
+	known := func(v int8) bool { return v != constUnknown }
+	switch node.Type {
+	case netlist.Const0:
+		return 0
+	case netlist.Const1:
+		return 1
+	case netlist.Buf:
+		return konst[node.Fanin[0]]
+	case netlist.Inv:
+		if v := konst[node.Fanin[0]]; known(v) {
+			return 1 - v
+		}
+	case netlist.And, netlist.Nand:
+		out, all := int8(1), true
+		for _, fi := range node.Fanin {
+			v := konst[fi]
+			if v == 0 {
+				out, all = 0, true
+				break
+			}
+			if !known(v) {
+				all = false
+			}
+		}
+		if all {
+			if node.Type == netlist.Nand {
+				return 1 - out
+			}
+			return out
+		}
+	case netlist.Or, netlist.Nor:
+		out, all := int8(0), true
+		for _, fi := range node.Fanin {
+			v := konst[fi]
+			if v == 1 {
+				out, all = 1, true
+				break
+			}
+			if !known(v) {
+				all = false
+			}
+		}
+		if all {
+			if node.Type == netlist.Nor {
+				return 1 - out
+			}
+			return out
+		}
+	case netlist.Xor, netlist.Xnor:
+		parity, all := int8(0), true
+		for _, fi := range node.Fanin {
+			v := konst[fi]
+			if !known(v) {
+				all = false
+				break
+			}
+			parity ^= v
+		}
+		if all {
+			if node.Type == netlist.Xnor {
+				return 1 - parity
+			}
+			return parity
+		}
+	case netlist.Mux2:
+		a, b, sel := konst[node.Fanin[0]], konst[node.Fanin[1]], konst[node.Fanin[2]]
+		if sel == 0 {
+			return a
+		}
+		if sel == 1 {
+			return b
+		}
+		if known(a) && a == b {
+			return a
+		}
+	}
+	return constUnknown
+}
+
+// Const reports node id's statically known value (0 or 1), or
+// constUnknown (-1) when the value depends on inputs or registers.
+func (f *Fold) Const(id netlist.NodeID) int8 { return f.konst[id] }
+
+// Ref is the slot a folded consumer reads for node id's value: the
+// root of its Buf chain, or id itself (including for known-constant
+// nodes, whose own op writes the constant into their slot).
+func (f *Fold) Ref(id netlist.NodeID) netlist.NodeID {
+	if f.konst[id] != constUnknown {
+		return id
+	}
+	return f.alias[id]
+}
+
+// Expected returns the canonical folded op for a combinational node:
+// the cell type the op computes and its fanin slots, after buf-chain
+// redirection and identity-constant elimination. The result computes
+// exactly the node's value; when no rewrite applies it equals the raw
+// netlist form (with fanins mapped through Ref, which is then the
+// identity).
+func (f *Fold) Expected(id netlist.NodeID) (netlist.CellType, []netlist.NodeID) {
+	node := f.n.Node(id)
+	switch f.konst[id] {
+	case 0:
+		return netlist.Const0, nil
+	case 1:
+		return netlist.Const1, nil
+	}
+	switch t := node.Type; t {
+	case netlist.Buf, netlist.Inv:
+		return t, []netlist.NodeID{f.Ref(node.Fanin[0])}
+	case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+		// The identity element (1 for AND-family, 0 for OR-family) is
+		// dropped; the opposite constant cannot survive here — it
+		// would have made the node itself constant.
+		identity := int8(1)
+		if t == netlist.Or || t == netlist.Nor {
+			identity = 0
+		}
+		fan := make([]netlist.NodeID, 0, len(node.Fanin))
+		for _, fi := range node.Fanin {
+			if f.konst[fi] == identity {
+				continue
+			}
+			fan = append(fan, f.Ref(fi))
+		}
+		if len(fan) == 1 {
+			if t == netlist.Nand || t == netlist.Nor {
+				return netlist.Inv, fan
+			}
+			return netlist.Buf, fan
+		}
+		return t, fan
+	case netlist.Xor, netlist.Xnor:
+		// Constant fanins fold into the output polarity: each known 1
+		// flips it, each known 0 vanishes.
+		parity := int8(0)
+		fan := make([]netlist.NodeID, 0, len(node.Fanin))
+		for _, fi := range node.Fanin {
+			if v := f.konst[fi]; v != constUnknown {
+				parity ^= v
+				continue
+			}
+			fan = append(fan, f.Ref(fi))
+		}
+		inverted := t == netlist.Xnor
+		if parity == 1 {
+			inverted = !inverted
+		}
+		if len(fan) == 1 {
+			if inverted {
+				return netlist.Inv, fan
+			}
+			return netlist.Buf, fan
+		}
+		if inverted {
+			return netlist.Xnor, fan
+		}
+		return netlist.Xor, fan
+	case netlist.Mux2:
+		a, b, sel := node.Fanin[0], node.Fanin[1], node.Fanin[2]
+		switch f.konst[sel] {
+		case 0:
+			return netlist.Buf, []netlist.NodeID{f.Ref(a)}
+		case 1:
+			return netlist.Buf, []netlist.NodeID{f.Ref(b)}
+		}
+		return netlist.Mux2, []netlist.NodeID{f.Ref(a), f.Ref(b), f.Ref(sel)}
+	default:
+		fan := make([]netlist.NodeID, len(node.Fanin))
+		for i, fi := range node.Fanin {
+			fan[i] = f.Ref(fi)
+		}
+		return node.Type, fan
+	}
+}
+
+// ExpectedConsumed marks every slot the folded plan reads: the fanins
+// of each combinational node's folded op. Latch sources, DFF enables,
+// and primary outputs are the caller's business (they are not folded).
+func (f *Fold) ExpectedConsumed() []bool {
+	nn := f.n.NumNodes()
+	consumed := make([]bool, nn)
+	for id := 0; id < nn; id++ {
+		nid := netlist.NodeID(id)
+		if !f.n.Node(nid).Type.IsCombinational() {
+			continue
+		}
+		_, fan := f.Expected(nid)
+		for _, fi := range fan {
+			consumed[fi] = true
+		}
+	}
+	return consumed
+}

@@ -147,6 +147,13 @@ type PlanView struct {
 // should itself be clean (CheckNetlist) for the results to be
 // meaningful, but CheckPlan only assumes it is structurally sound
 // enough to index (as guaranteed by netlist construction).
+//
+// Per-op rules accept two forms: the raw netlist form (opcode and
+// fanin list exactly as declared) and the canonical folded form
+// (FoldNetlist: buf-chain redirection, constant folding, identity
+// operand elimination). The verifier re-derives the fold from the
+// netlist itself, so a plan claiming a rewrite the fold does not
+// produce is still rejected.
 func CheckPlan(n *netlist.Netlist, v PlanView) *Report {
 	r := &Report{}
 	nn := n.NumNodes()
@@ -181,6 +188,7 @@ func CheckPlan(n *netlist.Netlist, v PlanView) *Report {
 // PL009, and the op-level parts of PL010.
 func checkPlanOps(n *netlist.Netlist, v PlanView, r *Report) {
 	nn := n.NumNodes()
+	fold := FoldNetlist(n)
 	// defined[i] — node i's value slot is readable at the current point
 	// of the stream: inputs and registers are defined by the driver and
 	// latch phases before Eval runs; combinational slots become defined
@@ -220,7 +228,8 @@ func checkPlanOps(n *netlist.Netlist, v PlanView, r *Report) {
 			writer[op.Out] = i
 		}
 
-		opcodeOK := checkPlanOpcode(n, i, op, node, r)
+		foldCell, foldFanin := fold.Expected(op.Out)
+		opcodeOK := checkPlanOpcode(n, i, op, node, foldCell, r)
 
 		eff := op.effFanins()
 		if eff > maxEff {
@@ -253,19 +262,21 @@ func checkPlanOps(n *netlist.Netlist, v PlanView, r *Report) {
 			}
 			consumed[f] = true
 		}
-		// Fanin-list equivalence against the netlist only when the
-		// opcode checks passed — a wrong opcode already explains an
-		// arity difference.
+		// Fanin-list equivalence only when the opcode checks passed —
+		// a wrong opcode already explains an arity difference. Either
+		// translation is acceptable: the raw netlist fanins (with the
+		// raw cell type), or the canonical folded form (with the
+		// folded cell type). Mixing the two is not.
 		if faninsOK && opcodeOK {
-			if len(op.Fanin) != len(node.Fanin) {
-				r.add(n, Finding{ID: IDPlanFaninMismatch, Sev: Error, Node: op.Out,
-					Msg: fmt.Sprintf("op %d has %d fanins, node %d has %d", i, len(op.Fanin), op.Out, len(node.Fanin))})
-			} else {
-				for j := range op.Fanin {
-					if op.Fanin[j] != node.Fanin[j] {
-						r.add(n, Finding{ID: IDPlanFaninMismatch, Sev: Error, Node: op.Out,
-							Msg: fmt.Sprintf("op %d fanin %d is node %d, netlist says node %d", i, j, op.Fanin[j], node.Fanin[j])})
-					}
+			direct := op.Cell == node.Type && faninsEqual(op.Fanin, node.Fanin)
+			folded := op.Cell == foldCell && faninsEqual(op.Fanin, foldFanin)
+			if !direct && !folded {
+				if len(op.Fanin) != len(node.Fanin) && len(op.Fanin) != len(foldFanin) {
+					r.add(n, Finding{ID: IDPlanFaninMismatch, Sev: Error, Node: op.Out,
+						Msg: fmt.Sprintf("op %d has %d fanins, node %d has %d (folded form has %d)", i, len(op.Fanin), op.Out, len(node.Fanin), len(foldFanin))})
+				} else {
+					r.add(n, Finding{ID: IDPlanFaninMismatch, Sev: Error, Node: op.Out,
+						Msg: fmt.Sprintf("op %d fanin list %v matches neither node %d's netlist fanins %v nor its folded form %v", i, op.Fanin, op.Out, node.Fanin, foldFanin)})
 				}
 			}
 		}
@@ -282,10 +293,13 @@ func checkPlanOps(n *netlist.Netlist, v PlanView, r *Report) {
 	}
 
 	// PL009: an op whose value the plan never consumes although the
-	// netlist consumes the node — the compile lost a consumer. Plan
-	// consumers are op fanins (collected above), latch sources, and
-	// primary outputs; netlist consumers are the fanout edges, DFF
-	// enables, and primary outputs.
+	// folded form of the netlist still needs the node — the compile
+	// lost a consumer. Plan consumers are op fanins (collected above),
+	// latch sources, and primary outputs. The expectation is the
+	// folded consumption set rather than the raw fanout edges: a Buf
+	// in the middle of an elided chain, or an identity-constant
+	// operand, legitimately loses all its plan readers (its op still
+	// writes its slot for observability).
 	for _, src := range v.RegSrc {
 		if src >= 0 && int(src) < nn {
 			consumed[src] = true
@@ -296,12 +310,17 @@ func checkPlanOps(n *netlist.Netlist, v PlanView, r *Report) {
 			consumed[port.Node] = true
 		}
 	}
-	netConsumed := make([]bool, nn)
+	expConsumed := fold.ExpectedConsumed()
 	for id := 0; id < nn; id++ {
 		node := n.Node(netlist.NodeID(id))
-		for _, f := range node.Fanin {
-			if f >= 0 && int(f) < nn {
-				netConsumed[f] = true
+		if node.Type == netlist.DFF {
+			// The latch schedule reads D fanins raw (it is never
+			// folded), so registers keep their netlist-level
+			// consumption expectation.
+			for _, f := range node.Fanin {
+				if f >= 0 && int(f) < nn {
+					expConsumed[f] = true
+				}
 			}
 		}
 		if node.Type == netlist.DFF && node.En != netlist.Invalid &&
@@ -310,19 +329,19 @@ func checkPlanOps(n *netlist.Netlist, v PlanView, r *Report) {
 			// zero-delay evaluators (the hold path is structural via a
 			// mux on D), so an enable net consumed only here must still
 			// be computed by the plan — count it as plan-consumed too.
-			netConsumed[node.En] = true
+			expConsumed[node.En] = true
 			consumed[node.En] = true
 		}
 	}
 	for _, port := range n.Outputs() {
 		if port.Node >= 0 && int(port.Node) < nn {
-			netConsumed[port.Node] = true
+			expConsumed[port.Node] = true
 		}
 	}
 	for id := 0; id < nn; id++ {
-		if writer[id] >= 0 && netConsumed[id] && !consumed[id] {
+		if writer[id] >= 0 && expConsumed[id] && !consumed[id] {
 			r.add(n, Finding{ID: IDPlanUnreachable, Sev: Error, Node: netlist.NodeID(id),
-				Msg: fmt.Sprintf("op %d computes node %d but nothing in the plan consumes it, although the netlist does: a consumer was dropped", writer[id], id)})
+				Msg: fmt.Sprintf("op %d computes node %d but nothing in the plan consumes it, although the netlist's folded form does: a consumer was dropped", writer[id], id)})
 		}
 	}
 
@@ -340,15 +359,18 @@ func checkPlanOps(n *netlist.Netlist, v PlanView, r *Report) {
 
 // checkPlanOpcode runs PL002 for one op and reports whether the opcode
 // and its arity encoding are trustworthy enough for fanin comparison.
-func checkPlanOpcode(n *netlist.Netlist, i int, op *PlanOp, node *netlist.Node, r *Report) bool {
+// foldCell is the cell type of the node's canonical folded form, which
+// is as acceptable as the raw netlist type (the fanin comparison pins
+// down which of the two translations the op must then follow).
+func checkPlanOpcode(n *netlist.Netlist, i int, op *PlanOp, node *netlist.Node, foldCell netlist.CellType, r *Report) bool {
 	if !op.CellOK {
 		r.add(n, Finding{ID: IDPlanOpcode, Sev: Error, Node: op.Out,
 			Msg: fmt.Sprintf("op %d carries an opcode that decodes to no cell type", i)})
 		return false
 	}
-	if op.Cell != node.Type {
+	if op.Cell != node.Type && op.Cell != foldCell {
 		r.add(n, Finding{ID: IDPlanOpcode, Sev: Error, Node: op.Out,
-			Msg: fmt.Sprintf("op %d computes %v but node %d is %v", i, op.Cell, op.Out, node.Type)})
+			Msg: fmt.Sprintf("op %d computes %v but node %d is %v (folded form %v)", i, op.Cell, op.Out, node.Type, foldCell)})
 		return false
 	}
 	if op.Arity >= 0 && op.Nin != op.Arity {
@@ -425,6 +447,19 @@ func checkPlanLatch(n *netlist.Netlist, v PlanView, r *Report) {
 				Msg: fmt.Sprintf("init-high entry %d is not in the latch schedule", id)})
 		}
 	}
+}
+
+// faninsEqual reports element-wise equality of two fanin lists.
+func faninsEqual(a, b []netlist.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,76 @@
+package precharac
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParallelLifetimeMatchesSerial pins the determinism contract of
+// the parallel lifetime campaign: with a fixed benchmark, the
+// characterization produced with several replay workers is
+// byte-identical (exact float bits, exact classification) to the
+// serial one. The per-register replays are independent and merge into
+// fixed slots, so no worker count may change a single result.
+func TestParallelLifetimeMatchesSerial(t *testing.T) {
+	opts := smallOpts()
+	opts.Probes = 2 // exercise the cross-probe accumulation too
+
+	run := func(workers int) *Characterization {
+		t.Helper()
+		o := opts
+		o.Workers = workers
+		c, err := Characterize(synthSoC(t), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	serial := run(1)
+	for _, workers := range []int{3, 7} {
+		par := run(workers)
+		if len(par.Regs) != len(serial.Regs) {
+			t.Fatalf("workers=%d characterized %d registers, serial %d", workers, len(par.Regs), len(serial.Regs))
+		}
+		for r, want := range serial.Regs {
+			got, ok := par.Regs[r]
+			if !ok {
+				t.Fatalf("workers=%d missing register %d", workers, r)
+			}
+			if math.Float64bits(got.Lifetime) != math.Float64bits(want.Lifetime) {
+				t.Errorf("workers=%d reg %d lifetime %v, serial %v", workers, r, got.Lifetime, want.Lifetime)
+			}
+			if math.Float64bits(got.Contamination) != math.Float64bits(want.Contamination) {
+				t.Errorf("workers=%d reg %d contamination %v, serial %v", workers, r, got.Contamination, want.Contamination)
+			}
+			if got.MemoryType != want.MemoryType {
+				t.Errorf("workers=%d reg %d memory-type %v, serial %v", workers, r, got.MemoryType, want.MemoryType)
+			}
+		}
+	}
+}
+
+// TestWorkerCountClamped covers the edge options: more workers than
+// registers, and the NumCPU default (Workers=0), both of which must
+// still produce the serial result.
+func TestWorkerCountClamped(t *testing.T) {
+	opts := smallOpts()
+	serial, err := Characterize(synthSoC(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 10000} {
+		o := opts
+		o.Workers = workers
+		c, err := Characterize(synthSoC(t), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, want := range serial.Regs {
+			got := c.Regs[r]
+			if got == nil || *got != *want {
+				t.Fatalf("workers=%d reg %d = %+v, serial %+v", workers, r, got, want)
+			}
+		}
+	}
+}

@@ -18,6 +18,8 @@ package precharac
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sync"
 
 	"repro/internal/logicsim"
 	"repro/internal/modelcheck"
@@ -57,6 +59,13 @@ type Options struct {
 	// campaigns start. The guard rejects only error-severity findings,
 	// so skipping it never changes results on a valid design.
 	SkipModelCheck bool
+	// Workers bounds the goroutines of the lifetime campaign's
+	// per-register replays (0 means runtime.NumCPU(), 1 forces the
+	// serial path). Each injected register is an independent replay
+	// against the shared golden trajectory, and per-register results
+	// are merged in sorted register order, so the output is
+	// byte-identical at every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the settings used by the paper-scale
@@ -259,8 +268,17 @@ func (c *Characterization) lifetimeCampaign(s *soc.SoC, opts Options) error {
 	if len(regsInCone) == 0 {
 		return fmt.Errorf("precharac: no registers in responding-signal cones")
 	}
-	sums := map[netlist.NodeID]*RegChar{}
+	// coneRegs fixes the injection-spot order: workers are assigned
+	// registers by index and results are merged back in this order, so
+	// the campaign output does not depend on the worker count.
+	coneRegs := make([]netlist.NodeID, 0, len(regsInCone))
+	//maporder-ok (sorted below)
 	for r := range regsInCone {
+		coneRegs = append(coneRegs, r)
+	}
+	sortIDs(coneRegs)
+	sums := map[netlist.NodeID]*RegChar{}
+	for _, r := range coneRegs {
 		sums[r] = &RegChar{Reg: r}
 	}
 	allRegs := nl.Regs()
@@ -278,10 +296,30 @@ func (c *Characterization) lifetimeCampaign(s *soc.SoC, opts Options) error {
 	if stride < 1 {
 		stride = 1
 	}
-	replay, err := logicsim.New(nl)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(coneRegs) {
+		workers = len(coneRegs)
+	}
+	// One private replay simulator per worker: a Simulator is not safe
+	// for concurrent use, but forks share the immutable netlist, plan,
+	// and topological order.
+	replays := make([]*logicsim.Simulator, workers)
+	base, err := logicsim.New(nl)
 	if err != nil {
 		return err
 	}
+	replays[0] = base
+	for w := 1; w < workers; w++ {
+		replays[w] = base.Fork()
+	}
+	// lifeSum/contamSum accumulate per-register across probes in fixed
+	// slots of the sorted register order — every (register, probe) cell
+	// has one writer, so the worker count never reorders an addition.
+	lifeSum := make([]float64, len(coneRegs))
+	contamSum := make([]float64, len(coneRegs))
 	for p := 0; p < opts.Probes; p++ {
 		probe := warmup + p*stride
 		s.Reset()
@@ -308,45 +346,66 @@ func (c *Characterization) lifetimeCampaign(s *soc.SoC, opts Options) error {
 			golden[k+1] = s.Sim.RegState()
 		}
 
-		for r := range regsInCone {
-			replay.SetRegState(start)
-			replay.FlipReg(r)
-			life := opts.LifetimeCap
-			contam := map[int]bool{}
-			for k := 0; k < opts.LifetimeCap; k++ {
-				for i, id := range inputs {
-					replay.SetInput(id, goldenIn[k][i])
+		// Replay one injection per cone register, striped across the
+		// workers against the shared read-only golden trajectory.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				replay := replays[w]
+				for i := w; i < len(coneRegs); i += workers {
+					life, contam := replayInjection(replay, coneRegs[i], start, goldenIn, golden, inputs, inConeIdx, allRegs, opts.LifetimeCap)
+					lifeSum[i] += float64(life)
+					contamSum[i] += float64(contam)
 				}
-				replay.Step()
-				state := replay.RegState()
-				diff := false
-				for i := range state {
-					if !inConeIdx[i] {
-						continue
-					}
-					if (state[i]^golden[k+1][i])&1 != 0 {
-						diff = true
-						if allRegs[i] != r {
-							contam[i] = true
-						}
-					}
-				}
-				if !diff {
-					life = k + 1
-					break
-				}
-			}
-			sums[r].Lifetime += float64(life)
-			sums[r].Contamination += float64(len(contam))
+			}(w)
 		}
+		wg.Wait()
 	}
-	for r, rc := range sums {
-		rc.Lifetime /= float64(opts.Probes)
-		rc.Contamination /= float64(opts.Probes)
+	for i, r := range coneRegs {
+		rc := sums[r]
+		rc.Lifetime = lifeSum[i] / float64(opts.Probes)
+		rc.Contamination = contamSum[i] / float64(opts.Probes)
 		rc.MemoryType = rc.Lifetime >= float64(opts.MemLifetimeMin) && rc.Contamination <= opts.MemContamMax
 		c.Regs[r] = rc
 	}
 	return nil
+}
+
+// replayInjection flips one register at the probe state, replays the
+// golden input waveforms, and returns the error's lifetime (cycles
+// until the cone registers reconverge with the golden run, capped) and
+// its contamination count (distinct other cone registers touched).
+func replayInjection(replay *logicsim.Simulator, r netlist.NodeID, start []uint64, goldenIn, golden [][]uint64, inputs []netlist.NodeID, inConeIdx []bool, allRegs []netlist.NodeID, horizon int) (life, contam int) {
+	replay.SetRegState(start)
+	replay.FlipReg(r)
+	life = horizon
+	contamIdx := map[int]bool{}
+	for k := 0; k < horizon; k++ {
+		for i, id := range inputs {
+			replay.SetInput(id, goldenIn[k][i])
+		}
+		replay.Step()
+		state := replay.RegState()
+		diff := false
+		for i := range state {
+			if !inConeIdx[i] {
+				continue
+			}
+			if (state[i]^golden[k+1][i])&1 != 0 {
+				diff = true
+				if allRegs[i] != r {
+					contamIdx[i] = true
+				}
+			}
+		}
+		if !diff {
+			life = k + 1
+			break
+		}
+	}
+	return life, len(contamIdx)
 }
 
 // computeCombLifetimes assigns every combinational gate the maximum

@@ -1,0 +1,45 @@
+package soc
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/logicsim"
+)
+
+// BenchmarkMPUEval compares the committed generated evaluator against
+// the interpreted op stream on the bundled MPU, per combinational pass
+// at each lane width. The campaign-level speedup in BENCH_codegen.json
+// is this gap diluted by the RTL and bookkeeping share of a sample.
+func BenchmarkMPUEval(b *testing.B) {
+	mpu, err := BuildMPU(DefaultMPUConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := logicsim.SetGeneratedEnabled(false)
+	interp, errI := logicsim.New(mpu.Netlist)
+	logicsim.SetGeneratedEnabled(prev)
+	if errI != nil {
+		b.Fatal(errI)
+	}
+	gen, err := logicsim.New(mpu.Netlist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, groups := range []int{1, 4, 8} {
+		for _, cfg := range []struct {
+			name string
+			sim  *logicsim.Simulator
+		}{{"interp", interp}, {"codegen", gen}} {
+			w, err := logicsim.NewLaneSim(cfg.sim, groups)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(cfg.name+"/lanes"+strconv.Itoa(64*groups), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w.Eval()
+				}
+			})
+		}
+	}
+}

@@ -9,6 +9,11 @@
 // exercises it.
 package soc
 
+// The default MPU ships with a generated straight-line evaluator
+// (mpu_evalgen.go) keyed by its compiled plan hash; regenerate it
+// whenever the MPU netlist or the logicsim compiler changes.
+//go:generate go run repro/cmd/gnlgen -builtin -o mpu_evalgen.go -pkg soc -prefix mpuGen
+
 import (
 	"fmt"
 
